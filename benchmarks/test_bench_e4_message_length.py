@@ -1,0 +1,21 @@
+"""E4 -- §3.1/§5: messages carry at most O(n log n) bits.
+
+Regenerates the message-length table: the largest message observed during a
+full protocol run (the Search/Remove tokens carrying the fundamental-cycle
+path) against the O(n log n) envelope.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e4_message_length
+
+
+def test_e4_message_length(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e4_message_length, bench_profile)
+    print()
+    print(report.to_table(columns=["family", "n", "m", "max_message_bits",
+                                   "bound_bits", "within_bound", "converged"]))
+    assert report.rows
+    assert all(r["within_bound"] for r in report.rows)

@@ -1,0 +1,25 @@
+"""E5 -- Definition 1: self-stabilization (convergence + closure).
+
+Regenerates the stabilization table: cold starts from fully corrupted and
+isolated configurations under several schedulers, plus recovery after a
+mid-run transient fault hitting half the nodes.  Closure violations count the
+rounds in which the legitimacy predicate broke again after convergence.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e5_self_stabilization
+
+
+def test_e5_self_stabilization(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e5_self_stabilization, bench_profile)
+    print()
+    print(report.to_table(columns=["family", "n", "scheduler", "initial", "mode",
+                                   "converged", "rounds", "closure_violations",
+                                   "tree_degree"]))
+    assert report.rows
+    assert all(r["converged"] for r in report.rows), "a run failed to stabilize"
+    assert all(r["closure_violations"] == 0 for r in report.rows
+               if r["mode"] == "cold-start")

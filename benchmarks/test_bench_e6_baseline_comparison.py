@@ -1,0 +1,30 @@
+"""E6 -- Motivation (§1): MDST degree vs the trees generic primitives produce.
+
+Regenerates the baseline-comparison table: maximum degree of BFS, DFS, MST
+and random spanning trees against the algorithm's tree and the
+direct-improvements-only local search (the no-Deblock ablation).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e6_baselines
+
+
+def test_e6_baseline_comparison(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e6_baselines, bench_profile)
+    print()
+    print(report.to_table(columns=["family", "n", "m", "bfs_degree", "dfs_degree",
+                                   "mst_degree", "random_degree",
+                                   "local_search_degree", "mdst_degree",
+                                   "lower_bound"]))
+    assert report.rows
+    # the MDST tree never has higher degree than the BFS/MST/random trees
+    for row in report.rows:
+        assert row["mdst_degree"] <= row["bfs_degree"]
+        assert row["mdst_degree"] <= row["mst_degree"]
+        assert row["mdst_degree"] <= row["random_degree"]
+        assert row["mdst_degree"] <= row["local_search_degree"]
+    # and on hub-heavy families the gap is strict somewhere
+    assert any(row["mdst_degree"] < row["bfs_degree"] for row in report.rows)

@@ -1,0 +1,29 @@
+"""E8 -- cost of a single improvement (Figures 4-5 micro-benchmark).
+
+Regenerates the improvement-cost table on hub-and-ring graphs of growing
+size: rounds to convergence and per-message-type counts (Search, Remove,
+Back, Deblock), i.e. the traffic of the Cycle_Search -> Action_on_Cycle ->
+Improve -> Remove/Back pipeline of Figure 4.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import experiment_e8_improvement_cost
+
+
+def test_e8_improvement_cost(benchmark, bench_profile):
+    report = run_once(benchmark, experiment_e8_improvement_cost, bench_profile,
+                      cycle_lengths=(6, 10, 14))
+    print()
+    print(report.to_table(columns=["hub_degree", "n", "initial_degree", "final_degree",
+                                   "converged", "rounds", "search_messages",
+                                   "remove_messages", "back_messages",
+                                   "deblock_messages"]))
+    assert report.rows
+    assert all(r["converged"] for r in report.rows)
+    assert all(r["final_degree"] < r["initial_degree"] for r in report.rows)
+    # search traffic grows with the size of the fundamental cycles
+    rows = sorted(report.rows, key=lambda r: r["n"])
+    assert rows[-1]["search_messages"] >= rows[0]["search_messages"]

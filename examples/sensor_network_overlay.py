@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Ad-hoc / sensor network scenario (the paper's §1 motivation).
+
+A random geometric graph models radio connectivity of sensors scattered in
+the unit square.  A communication overlay built as a BFS tree concentrates
+relay load on a few high-degree nodes -- the first nodes to exhaust their
+battery and the prime targets of attacks.  The MDST overlay spreads the load:
+its maximum degree is within one of the best achievable.
+
+The script also injects a transient fault (half the nodes corrupted) once the
+overlay has stabilized and shows the protocol re-converging, which is the
+operational benefit of self-stabilization for unattended sensor deployments.
+
+Run with::
+
+    python examples/sensor_network_overlay.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import degree_histogram_of_tree, format_table
+from repro.core import MDSTConfig, run_mdst
+from repro.graphs import bfs_spanning_tree, make_graph, tree_degree
+from repro.sim import FaultPlan
+
+
+def main() -> None:
+    graph = make_graph("random_geometric", 18, seed=7)
+    print(f"sensor field: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} radio links")
+
+    bfs = bfs_spanning_tree(graph)
+    print(f"BFS overlay maximum degree : {tree_degree(graph.nodes, bfs)}")
+
+    result = run_mdst(graph, MDSTConfig(seed=7, initial="isolated", max_rounds=4000))
+    print(f"MDST overlay maximum degree: {result.tree_degree} "
+          f"(converged={result.converged}, "
+          f"round {result.run.extra['convergence_round']})")
+
+    rows = []
+    bfs_hist = degree_histogram_of_tree(graph, bfs)
+    mdst_hist = degree_histogram_of_tree(graph, result.tree_edges)
+    for degree in sorted(set(bfs_hist) | set(mdst_hist)):
+        rows.append({"tree degree": degree,
+                     "BFS overlay nodes": bfs_hist.get(degree, 0),
+                     "MDST overlay nodes": mdst_hist.get(degree, 0)})
+    print()
+    print(format_table(rows, title="relay-load distribution (nodes per tree degree)"))
+
+    # Transient fault: half the sensors reboot with arbitrary memory contents.
+    plan = FaultPlan().add(round_index=1000, node_fraction=0.5, channel_fraction=0.2)
+    recovery = run_mdst(graph, MDSTConfig(seed=7, initial="bfs_tree", max_rounds=4000),
+                        fault_plan=plan)
+    print(f"\nafter a transient fault at round 1000: converged={recovery.converged}, "
+          f"final degree={recovery.tree_degree} "
+          f"(stabilized again at round {recovery.run.extra['convergence_round']})")
+
+
+if __name__ == "__main__":
+    main()

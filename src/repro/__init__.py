@@ -1,0 +1,65 @@
+"""repro -- reproduction of "Self-stabilizing minimum-degree spanning tree
+within one from the optimal degree" (Blin, Gradinariu Potop-Butucaru,
+Rovedakis, IPDPS 2009).
+
+Subpackages
+-----------
+``repro.graphs``
+    Network generators, spanning-tree utilities, validation, I/O.
+``repro.sim``
+    Asynchronous message-passing simulator (FIFO channels, send/receive
+    atomicity, schedulers, fault injection, tracing).
+``repro.stabilization``
+    Self-stabilizing substrate modules: spanning tree (rules R1/R2),
+    PIF max-degree aggregation, global predicates.
+``repro.core``
+    The MDST algorithm itself: per-node protocol, improvement logic,
+    legitimacy predicates, reference engine, high-level runner.
+``repro.baselines``
+    Exact Δ* solver, Fürer–Raghavachari, centralized local search,
+    simple spanning trees, fragment-based distributed baseline.
+``repro.analysis``
+    Metrics, convergence/memory accounting, tables, result records.
+``repro.experiments``
+    Workloads, sweep runner and the E1-E8 experiment definitions.
+"""
+
+from .types import Edge, NodeId, RunResult, TreeSnapshot, canonical_edge, canonical_edges
+from .exceptions import (
+    BaselineError,
+    ChannelError,
+    ConfigurationError,
+    ConvergenceError,
+    ExactSolverBudgetError,
+    GraphError,
+    NotASpanningTreeError,
+    NotConnectedError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Edge",
+    "NodeId",
+    "RunResult",
+    "TreeSnapshot",
+    "canonical_edge",
+    "canonical_edges",
+    "ReproError",
+    "GraphError",
+    "NotConnectedError",
+    "NotASpanningTreeError",
+    "SimulationError",
+    "ChannelError",
+    "SchedulerError",
+    "ConvergenceError",
+    "ProtocolError",
+    "ConfigurationError",
+    "BaselineError",
+    "ExactSolverBudgetError",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Analysis layer: tree quality metrics, convergence/memory accounting, tables."""
+
+from .convergence import (
+    ConvergenceRecord,
+    aggregate_records,
+    loglog_slope,
+    paper_round_bound,
+)
+from .memory import (
+    MemoryReport,
+    log_n_bits,
+    memory_report,
+    message_bound_bits,
+    state_bound_bits,
+)
+from .metrics import TreeQuality, degree_gap, degree_histogram_of_tree, evaluate_tree
+from .reporting import ExperimentReport
+from .tables import format_csv, format_table, render_rows
+
+__all__ = [name for name in dir() if not name.startswith("_")]

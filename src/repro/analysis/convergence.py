@@ -1,0 +1,91 @@
+"""Convergence accounting: rounds, steps, messages, scaling fits.
+
+The paper's Lemma 5 claims an ``O(m n^2 log n)`` round bound.  The
+experiments cannot (and need not) hit that worst case; what they verify is
+that measured convergence rounds (i) are finite from arbitrary initial
+configurations and (ii) grow polynomially and stay far *below* the bound.
+This module provides the bookkeeping: per-run records, aggregation over
+repetitions, and a log-log slope estimate for the scaling experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ConvergenceRecord", "aggregate_records", "loglog_slope",
+           "paper_round_bound"]
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """One protocol run reduced to its convergence-relevant numbers."""
+
+    nodes: int
+    edges: int
+    rounds: int
+    convergence_round: Optional[int]
+    steps: int
+    messages: int
+    converged: bool
+    tree_degree: int
+    seed: Optional[int] = None
+    family: str = ""
+    scheduler: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "n": self.nodes,
+            "m": self.edges,
+            "scheduler": self.scheduler,
+            "converged": self.converged,
+            "rounds": self.rounds,
+            "convergence_round": self.convergence_round,
+            "steps": self.steps,
+            "messages": self.messages,
+            "tree_degree": self.tree_degree,
+            "seed": self.seed,
+        }
+
+
+def aggregate_records(records: Sequence[ConvergenceRecord]) -> dict:
+    """Mean/max summary over repeated runs of the same configuration."""
+    if not records:
+        return {"runs": 0}
+    rounds = [r.convergence_round if r.convergence_round is not None else r.rounds
+              for r in records]
+    messages = [r.messages for r in records]
+    return {
+        "runs": len(records),
+        "converged": sum(1 for r in records if r.converged),
+        "mean_rounds": float(np.mean(rounds)),
+        "max_rounds": int(np.max(rounds)),
+        "mean_messages": float(np.mean(messages)),
+        "max_messages": int(np.max(messages)),
+        "mean_degree": float(np.mean([r.tree_degree for r in records])),
+    }
+
+
+def loglog_slope(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of ``log(values)`` vs ``log(sizes)``.
+
+    Used to estimate the empirical polynomial exponent of round/message
+    growth; a slope of ``p`` indicates ``values ~ sizes**p``.
+    """
+    if len(sizes) != len(values) or len(sizes) < 2:
+        raise ValueError("need at least two (size, value) pairs of equal length")
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.maximum(np.asarray(values, dtype=float), 1e-12))
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def paper_round_bound(n: int, m: int) -> float:
+    """The paper's worst-case round bound ``m * n^2 * log2(n)`` (Lemma 5)."""
+    if n < 2:
+        return 0.0
+    return float(m) * float(n) ** 2 * math.log2(n)

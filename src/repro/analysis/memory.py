@@ -1,0 +1,100 @@
+"""Memory and message-length accounting (Lemma 5, §5 "Complexity issues").
+
+The paper claims
+
+* **memory**: ``O(δ log n)`` bits per node in the send/receive model (a
+  constant number of ``O(log n)``-bit variables plus one cached copy per
+  neighbour), ``O(log n)`` in the classical model (own variables only);
+* **message length**: ``O(n log n)`` bits, dominated by the cycle path
+  carried by ``Search`` / ``Remove`` / ``Back`` messages.
+
+The functions here compute the corresponding theoretical envelopes so that
+experiments E3/E4 can compare measured values against them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim.network import Network
+
+__all__ = ["MemoryReport", "memory_report", "state_bound_bits", "message_bound_bits",
+           "log_n_bits"]
+
+
+def log_n_bits(n: int) -> int:
+    """Bits of one identifier in an ``n``-node network (``ceil(log2 n) + 1``)."""
+    return max(1, math.ceil(math.log2(max(n, 2)))) + 1
+
+
+def state_bound_bits(n: int, delta: int, own_variables: int = 6,
+                     copies_per_neighbor: int = 7) -> int:
+    """Theoretical ``O(δ log n)`` envelope for per-node state.
+
+    ``own_variables`` and ``copies_per_neighbor`` are the constants of the
+    implementation (root, parent, distance, dmax, sub_max, deg and the cached
+    copies thereof); the envelope is what E3 plots against measurements.
+    """
+    bits = log_n_bits(n)
+    return own_variables * bits + copies_per_neighbor * bits * delta
+
+
+def message_bound_bits(n: int, fields_per_entry: int = 4, overhead: int = 16) -> int:
+    """Theoretical ``O(n log n)`` envelope for message length.
+
+    A ``Search`` token carries, per visited node, a path entry (a pair of
+    node id and degree, plus the pair's length field under the size
+    accounting of :mod:`repro.sim.messages`) and a visited-set entry, i.e. at
+    most ``fields_per_entry = 4`` identifier-sized fields per network node.
+    """
+    return overhead + fields_per_entry * (n + 2) * log_n_bits(n)
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Measured vs theoretical memory/message sizes for one network."""
+
+    nodes: int
+    max_graph_degree: int
+    max_state_bits: int
+    total_state_bits: int
+    state_bound_bits: int
+    max_message_bits: int
+    message_bound_bits: int
+
+    @property
+    def state_within_bound(self) -> bool:
+        return self.max_state_bits <= self.state_bound_bits
+
+    @property
+    def message_within_bound(self) -> bool:
+        return self.max_message_bits <= self.message_bound_bits
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.nodes,
+            "delta": self.max_graph_degree,
+            "max_state_bits": self.max_state_bits,
+            "state_bound_bits": self.state_bound_bits,
+            "state_within_bound": self.state_within_bound,
+            "max_message_bits": self.max_message_bits,
+            "message_bound_bits": self.message_bound_bits,
+            "message_within_bound": self.message_within_bound,
+        }
+
+
+def memory_report(network: Network) -> MemoryReport:
+    """Build a :class:`MemoryReport` for the current state of ``network``."""
+    n = len(network)
+    delta = network.max_graph_degree()
+    return MemoryReport(
+        nodes=n,
+        max_graph_degree=delta,
+        max_state_bits=network.max_state_bits(),
+        total_state_bits=network.total_state_bits(),
+        state_bound_bits=state_bound_bits(n, delta),
+        max_message_bits=network.max_channel_message_bits(),
+        message_bound_bits=message_bound_bits(n),
+    )

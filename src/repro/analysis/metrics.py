@@ -1,0 +1,90 @@
+"""Tree-quality metrics used across experiments.
+
+The central metric is the maximum tree degree and its gap to the optimum Δ*
+(or to a certified lower bound when Δ* is too expensive to compute); the
+module also provides degree-distribution statistics used by the baseline
+comparison (E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+
+from ..graphs.properties import mdst_lower_bound
+from ..graphs.spanning import tree_degree, tree_degrees
+from ..types import Edge
+
+__all__ = ["TreeQuality", "evaluate_tree", "degree_gap", "degree_histogram_of_tree"]
+
+
+@dataclass(frozen=True)
+class TreeQuality:
+    """Quality record of one spanning tree with respect to its graph."""
+
+    degree: int
+    optimal_degree: Optional[int]
+    lower_bound: int
+    gap_to_optimal: Optional[int]
+    within_one_of_optimal: Optional[bool]
+    mean_degree: float
+    leaves: int
+    internal_max_fraction: float
+
+    def as_dict(self) -> dict:
+        return {
+            "degree": self.degree,
+            "optimal_degree": self.optimal_degree,
+            "lower_bound": self.lower_bound,
+            "gap_to_optimal": self.gap_to_optimal,
+            "within_one_of_optimal": self.within_one_of_optimal,
+            "mean_degree": round(self.mean_degree, 3),
+            "leaves": self.leaves,
+            "internal_max_fraction": round(self.internal_max_fraction, 4),
+        }
+
+
+def degree_histogram_of_tree(graph: nx.Graph, edges: Iterable[Edge]) -> Dict[int, int]:
+    """Histogram ``tree degree -> number of nodes`` for the tree ``edges``."""
+    degrees = tree_degrees(graph.nodes, edges)
+    hist: Dict[int, int] = {}
+    for d in degrees.values():
+        hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def degree_gap(tree_deg: int, optimal_degree: Optional[int]) -> Optional[int]:
+    """Gap ``deg(T) - Δ*`` (``None`` when Δ* is unknown)."""
+    if optimal_degree is None:
+        return None
+    return tree_deg - optimal_degree
+
+
+def evaluate_tree(graph: nx.Graph, edges: Iterable[Edge],
+                  optimal_degree: Optional[int] = None) -> TreeQuality:
+    """Compute the quality record of a spanning tree.
+
+    ``optimal_degree`` is the exact Δ* when available (small instances); the
+    structural lower bound is always included so larger instances still get a
+    certified statement (``degree <= lower_bound + 1`` implies optimal-within-one).
+    """
+    edges = set(edges)
+    degrees = tree_degrees(graph.nodes, edges)
+    values = list(degrees.values())
+    deg = max(values) if values else 0
+    lb = mdst_lower_bound(graph) if graph.number_of_nodes() > 1 else 0
+    gap = degree_gap(deg, optimal_degree)
+    within = None if optimal_degree is None else deg <= optimal_degree + 1
+    max_count = sum(1 for d in values if d == deg) if values else 0
+    return TreeQuality(
+        degree=deg,
+        optimal_degree=optimal_degree,
+        lower_bound=lb,
+        gap_to_optimal=gap,
+        within_one_of_optimal=within,
+        mean_degree=sum(values) / len(values) if values else 0.0,
+        leaves=sum(1 for d in values if d == 1),
+        internal_max_fraction=max_count / len(values) if values else 0.0,
+    )

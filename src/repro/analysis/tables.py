@@ -1,0 +1,68 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benchmark harness prints the rows an evaluation section would tabulate;
+this module renders lists of dictionaries as aligned ASCII tables (and
+optionally CSV) with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_csv", "render_rows"]
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render ``rows`` (list of dicts) as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_stringify(row.get(c)) for c in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_csv(rows: Sequence[Mapping[str, object]],
+               columns: Optional[Sequence[str]] = None) -> str:
+    """Render ``rows`` as CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row.get(c) for c in columns})
+    return buf.getvalue()
+
+
+def render_rows(rows: Sequence[Mapping[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None, csv_output: bool = False) -> str:
+    """Render rows as a table or CSV depending on ``csv_output``."""
+    return format_csv(rows, columns) if csv_output else format_table(rows, columns, title)

@@ -1,0 +1,167 @@
+"""Exact minimum-degree spanning tree solver (small instances).
+
+Computing Δ* is NP-hard (reduction from Hamiltonian path), so no polynomial
+algorithm exists; this module provides an exact solver for the *small*
+instances used to verify the Δ*+1 guarantee (experiment E1).  The solver
+answers the decision problem "does a spanning tree of maximum degree <= k
+exist?" by backtracking over edges with three prunings:
+
+* degree caps (never exceed ``k`` at any node);
+* acyclicity (union-find over the chosen edges);
+* connectivity look-ahead (the chosen edges plus the still-undecided edges
+  must connect the graph, otherwise the branch is hopeless).
+
+Δ* is then found by increasing ``k`` from the structural lower bound
+(:func:`repro.graphs.properties.mdst_lower_bound`) until the decision problem
+becomes feasible.  A work budget guards against accidental use on instances
+that are too large; exceeding it raises :class:`ExactSolverBudgetError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..exceptions import ExactSolverBudgetError, GraphError, NotConnectedError
+from ..graphs.properties import mdst_lower_bound
+from ..types import Edge, NodeId, canonical_edge
+
+__all__ = ["has_degree_bounded_spanning_tree", "exact_mdst_degree", "exact_mdst_tree"]
+
+
+class _UnionFind:
+    __slots__ = ("parent", "rank")
+
+    def __init__(self, nodes):
+        self.parent = {v: v for v in nodes}
+        self.rank = {v: 0 for v in nodes}
+
+    def find(self, x):
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+    def snapshot(self) -> Tuple[Dict, Dict]:
+        return dict(self.parent), dict(self.rank)
+
+    def restore(self, snap: Tuple[Dict, Dict]) -> None:
+        self.parent, self.rank = dict(snap[0]), dict(snap[1])
+
+
+def _connectivity_possible(graph: nx.Graph, chosen: List[Edge],
+                           remaining: List[Edge]) -> bool:
+    """Can ``chosen`` + some subset of ``remaining`` still span the graph?"""
+    uf = _UnionFind(graph.nodes)
+    comps = graph.number_of_nodes()
+    for u, v in chosen:
+        if uf.union(u, v):
+            comps -= 1
+    for u, v in remaining:
+        if uf.union(u, v):
+            comps -= 1
+    return comps == 1
+
+
+def has_degree_bounded_spanning_tree(graph: nx.Graph, k: int,
+                                     budget: int = 2_000_000
+                                     ) -> Optional[set[Edge]]:
+    """Return a spanning tree of maximum degree <= ``k``, or ``None``.
+
+    Raises :class:`ExactSolverBudgetError` when the backtracking search
+    exceeds ``budget`` recursive steps.
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise GraphError("graph is empty")
+    if not nx.is_connected(graph):
+        raise NotConnectedError("graph must be connected")
+    if n == 1:
+        return set()
+    if k < 1:
+        return None
+    # Order edges so that edges incident to low-degree vertices come first:
+    # those are the scarce resources and deciding them early prunes faster.
+    graph_degree = dict(graph.degree())
+    edges = sorted((canonical_edge(u, v) for u, v in graph.edges),
+                   key=lambda e: (min(graph_degree[e[0]], graph_degree[e[1]]),
+                                  e))
+    steps = [0]
+
+    degree: Dict[NodeId, int] = {v: 0 for v in graph.nodes}
+    uf = _UnionFind(graph.nodes)
+    chosen: List[Edge] = []
+
+    def backtrack(idx: int, picked: int) -> bool:
+        steps[0] += 1
+        if steps[0] > budget:
+            raise ExactSolverBudgetError(
+                f"exact solver exceeded its budget of {budget} steps")
+        if picked == n - 1:
+            return True
+        if idx >= len(edges):
+            return False
+        remaining = edges[idx:]
+        if picked + len(remaining) < n - 1:
+            return False
+        if not _connectivity_possible(graph, chosen, remaining):
+            return False
+        u, v = edges[idx]
+        # Branch 1: include the edge (if degree caps and acyclicity allow).
+        if degree[u] < k and degree[v] < k and uf.find(u) != uf.find(v):
+            snap = uf.snapshot()
+            uf.union(u, v)
+            degree[u] += 1
+            degree[v] += 1
+            chosen.append((u, v))
+            if backtrack(idx + 1, picked + 1):
+                return True
+            chosen.pop()
+            degree[u] -= 1
+            degree[v] -= 1
+            uf.restore(snap)
+        # Branch 2: exclude the edge.
+        return backtrack(idx + 1, picked)
+
+    if backtrack(0, 0):
+        return set(chosen)
+    return None
+
+
+def exact_mdst_degree(graph: nx.Graph, budget: int = 2_000_000) -> int:
+    """Δ*: the minimum possible maximum degree over all spanning trees."""
+    n = graph.number_of_nodes()
+    if n <= 1:
+        return 0
+    if n == 2:
+        return 1
+    lo = mdst_lower_bound(graph)
+    for k in range(lo, n):
+        if has_degree_bounded_spanning_tree(graph, k, budget=budget) is not None:
+            return k
+    return n - 1  # pragma: no cover - a star tree of degree n-1 always exists
+
+
+def exact_mdst_tree(graph: nx.Graph, budget: int = 2_000_000) -> set[Edge]:
+    """An actual minimum-degree spanning tree (edge set)."""
+    n = graph.number_of_nodes()
+    if n <= 1:
+        return set()
+    lo = mdst_lower_bound(graph) if n > 2 else 1
+    for k in range(max(lo, 1), n):
+        tree = has_degree_bounded_spanning_tree(graph, k, budget=budget)
+        if tree is not None:
+            return tree
+    raise GraphError("no spanning tree found (graph disconnected?)")  # pragma: no cover

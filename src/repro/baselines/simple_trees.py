@@ -1,0 +1,80 @@
+"""Naive spanning-tree baselines (BFS, DFS, MST, random).
+
+These are the trees a system would get "for free" from standard primitives;
+experiment E6 compares their maximum degree against the MDST algorithm's,
+reproducing the paper's motivation (§1): generic trees concentrate load on
+few high-degree nodes, which is exactly what the MDST construction avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+import networkx as nx
+
+from ..graphs.spanning import (
+    bfs_spanning_tree,
+    dfs_spanning_tree,
+    minimum_spanning_tree,
+    random_spanning_tree,
+    tree_degree,
+    tree_degrees,
+)
+from ..types import Edge
+
+__all__ = ["TreeBaselineResult", "SIMPLE_TREE_BASELINES", "evaluate_simple_trees",
+           "baseline_tree"]
+
+
+@dataclass(frozen=True)
+class TreeBaselineResult:
+    """Degree statistics of one baseline spanning tree."""
+
+    name: str
+    tree_edges: frozenset[Edge]
+    degree: int
+    mean_degree: float
+    leaves: int
+
+    @staticmethod
+    def from_edges(name: str, graph: nx.Graph, edges: Iterable[Edge]) -> "TreeBaselineResult":
+        edges = frozenset(edges)
+        degrees = tree_degrees(graph.nodes, edges)
+        values = list(degrees.values())
+        return TreeBaselineResult(
+            name=name,
+            tree_edges=edges,
+            degree=max(values) if values else 0,
+            mean_degree=sum(values) / len(values) if values else 0.0,
+            leaves=sum(1 for d in values if d == 1),
+        )
+
+
+#: Registry of simple baselines: name -> callable(graph, seed) -> edge set.
+SIMPLE_TREE_BASELINES: Dict[str, Callable[[nx.Graph, Optional[int]], set[Edge]]] = {
+    "bfs": lambda g, seed=None: bfs_spanning_tree(g),
+    "dfs": lambda g, seed=None: dfs_spanning_tree(g),
+    "mst": lambda g, seed=None: minimum_spanning_tree(g),
+    "random": lambda g, seed=None: random_spanning_tree(g, seed=seed),
+}
+
+
+def baseline_tree(name: str, graph: nx.Graph, seed: Optional[int] = None) -> set[Edge]:
+    """Build the named baseline spanning tree."""
+    try:
+        factory = SIMPLE_TREE_BASELINES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown simple-tree baseline {name!r}; "
+                       f"known: {sorted(SIMPLE_TREE_BASELINES)}") from exc
+    return factory(graph, seed)
+
+
+def evaluate_simple_trees(graph: nx.Graph, seed: Optional[int] = None
+                          ) -> Dict[str, TreeBaselineResult]:
+    """Build and evaluate every simple baseline on ``graph``."""
+    results: Dict[str, TreeBaselineResult] = {}
+    for name in sorted(SIMPLE_TREE_BASELINES):
+        edges = baseline_tree(name, graph, seed=seed)
+        results[name] = TreeBaselineResult.from_edges(name, graph, edges)
+    return results

@@ -1,0 +1,113 @@
+"""Legitimacy predicates of the MDST protocol (Definition 1 + §2 MDST spec).
+
+A configuration is *legitimate* when
+
+1. the parent pointers of all nodes form a spanning tree of the network,
+   rooted at the node with the smallest identifier, with coherent distances
+   (Lemmas 1-2);
+2. every node's ``dmax`` equals the true degree of that tree (the maximum
+   degree module has stabilized);
+3. the tree is a fixpoint of the improvement rule: no direct improvement of a
+   maximum-degree node and no deblocking chain leading to one exists
+   (Theorem 2: such a tree has degree at most Δ* + 1).
+
+The first two conditions are cheap; the third calls the chain planner of
+:mod:`repro.core.improvement` and is therefore only evaluated when the first
+two hold (the simulator calls the predicate once per round).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import networkx as nx
+
+from ..sim.network import Network
+from ..stabilization.predicates import (
+    distances_coherent,
+    dmax_agrees_with_tree,
+    has_unique_root,
+    parent_map_is_spanning_tree,
+    tree_edges_from_snapshots,
+)
+from ..types import Edge
+from .improvement import improvement_possible
+
+__all__ = [
+    "tree_coherent",
+    "degree_layer_coherent",
+    "reduction_finished",
+    "mdst_legitimacy",
+    "make_mdst_legitimacy",
+    "current_tree_edges",
+    "current_tree_degree",
+]
+
+
+def current_tree_edges(network: Network) -> set[Edge]:
+    """Tree edge set induced by the current parent pointers."""
+    return tree_edges_from_snapshots(network)
+
+
+def current_tree_degree(network: Network) -> int:
+    """Degree of the currently induced tree (0 if no edges)."""
+    edges = current_tree_edges(network)
+    counts: dict[int, int] = {}
+    for a, b in edges:
+        counts[a] = counts.get(a, 0) + 1
+        counts[b] = counts.get(b, 0) + 1
+    return max(counts.values()) if counts else 0
+
+
+def tree_coherent(network: Network) -> bool:
+    """Condition 1: unique min-id root, spanning tree, coherent distances."""
+    snaps = network.snapshots()
+    if not has_unique_root(snaps):
+        return False
+    min_id = min(network.node_ids)
+    if any(snap.get("root") != min_id for snap in snaps.values()):
+        return False
+    if not parent_map_is_spanning_tree(network, snaps):
+        return False
+    return distances_coherent(snaps)
+
+
+def degree_layer_coherent(network: Network) -> bool:
+    """Condition 2: every node's ``dmax`` equals the true tree degree."""
+    return dmax_agrees_with_tree(network)
+
+
+def reduction_finished(network: Network) -> bool:
+    """Condition 3: the induced tree admits no further improvement chain."""
+    edges = current_tree_edges(network)
+    if len(edges) != len(network.node_ids) - 1:
+        return False
+    return not improvement_possible(network.graph, edges)
+
+
+def mdst_legitimacy(network: Network) -> bool:
+    """Full legitimacy predicate (conditions 1-3, evaluated lazily)."""
+    if not tree_coherent(network):
+        return False
+    if not degree_layer_coherent(network):
+        return False
+    return reduction_finished(network)
+
+
+def make_mdst_legitimacy(require_reduction: bool = True,
+                         require_degree_layer: bool = True
+                         ) -> Callable[[Network], bool]:
+    """Factory producing restricted legitimacy predicates for ablations.
+
+    ``require_reduction=False`` yields the predicate of the spanning-tree +
+    max-degree layers only (used to time the substrate in isolation).
+    """
+    def predicate(network: Network) -> bool:
+        if not tree_coherent(network):
+            return False
+        if require_degree_layer and not degree_layer_coherent(network):
+            return False
+        if require_reduction and not reduction_finished(network):
+            return False
+        return True
+    return predicate

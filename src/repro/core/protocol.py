@@ -1,0 +1,298 @@
+"""High-level driver for the self-stabilizing MDST protocol.
+
+This module is the main entry point of the library for most users::
+
+    import networkx as nx
+    from repro.core import run_mdst, MDSTConfig
+
+    graph = nx.random_geometric_graph(40, 0.3, seed=1)
+    result = run_mdst(graph, MDSTConfig(seed=1, max_rounds=3000))
+    print(result.tree_degree, result.converged)
+
+It builds a simulated network whose every node runs
+:class:`~repro.core.node_algorithm.MDSTNode`, prepares the requested initial
+configuration (a coherent tree, fully corrupted state, or every node alone),
+runs the simulator under the chosen scheduler until the legitimacy predicate
+stabilizes, and packages the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.spanning import (
+    bfs_spanning_tree,
+    parent_map_from_edges,
+    random_spanning_tree,
+    tree_degrees,
+)
+from ..graphs.validation import check_network
+from ..sim.faults import FaultPlan, corrupt_channels, corrupt_states
+from ..sim.network import Network
+from ..sim.scheduler import make_scheduler
+from ..sim.simulator import SimulationReport, Simulator
+from ..sim.trace import TraceRecorder
+from ..types import Edge, NodeId, RunResult, TreeSnapshot, canonical_edges
+from .legitimacy import current_tree_degree, current_tree_edges, make_mdst_legitimacy
+from .node_algorithm import MDSTNode, mdst_node_factory
+
+__all__ = ["MDSTConfig", "MDSTResult", "build_mdst_network", "initialize_from_tree",
+           "initialize_isolated", "run_mdst"]
+
+#: Recognised initial-configuration policies.
+INITIAL_POLICIES = ("bfs_tree", "random_tree", "isolated", "corrupted")
+
+
+@dataclass
+class MDSTConfig:
+    """Configuration of one protocol run.
+
+    Attributes
+    ----------
+    scheduler:
+        ``"synchronous"``, ``"random"`` or ``"adversarial"``.
+    seed:
+        Master seed for the scheduler, fault injection and random trees.
+    initial:
+        Initial configuration policy: ``"bfs_tree"`` (coherent BFS tree --
+        isolates the degree-reduction phase), ``"random_tree"`` (coherent but
+        arbitrary tree), ``"isolated"`` (every node its own root, empty
+        channels -- a clean cold start) or ``"corrupted"`` (every variable of
+        every node randomised and garbage pre-loaded on channels -- the
+        paper's arbitrary initial configuration).
+    corrupt_channel_fraction:
+        With ``initial="corrupted"``, fraction of channels pre-loaded with
+        garbage messages.
+    search_period, deblock_cooldown:
+        Throttling knobs of :class:`~repro.core.node_algorithm.MDSTNode`.
+    enable_reduction:
+        Disable to run only the substrate layers (ablation).
+    stability_window:
+        Consecutive legitimate rounds required to declare convergence.
+    max_rounds:
+        Round budget.
+    keep_trace_events:
+        Record the full event log (memory-heavy; used by examples).
+    slow_links, max_delay:
+        Parameters of the adversarial scheduler.
+    """
+
+    scheduler: str = "synchronous"
+    seed: Optional[int] = None
+    initial: str = "isolated"
+    corrupt_channel_fraction: float = 0.5
+    search_period: int = 3
+    deblock_cooldown: int = 30
+    enable_reduction: bool = True
+    stability_window: int = 5
+    max_rounds: int = 5000
+    extra_rounds_after_convergence: int = 0
+    keep_trace_events: bool = False
+    slow_links: Sequence[Tuple[NodeId, NodeId]] = field(default_factory=tuple)
+    max_delay: int = 4
+
+    def validate(self) -> None:
+        if self.initial not in INITIAL_POLICIES:
+            raise ConfigurationError(
+                f"initial must be one of {INITIAL_POLICIES}, got {self.initial!r}")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        if self.stability_window < 1:
+            raise ConfigurationError("stability_window must be >= 1")
+
+
+@dataclass
+class MDSTResult:
+    """Outcome of :func:`run_mdst`."""
+
+    run: RunResult
+    report: SimulationReport
+    trace: Optional[TraceRecorder]
+    tree_edges: set[Edge]
+    node_stats: Dict[NodeId, Dict[str, int]]
+
+    @property
+    def converged(self) -> bool:
+        return self.run.converged
+
+    @property
+    def tree_degree(self) -> int:
+        return self.run.tree_degree
+
+    @property
+    def rounds(self) -> int:
+        return self.run.rounds
+
+
+def build_mdst_network(graph: nx.Graph, config: Optional[MDSTConfig] = None) -> Network:
+    """Build a :class:`~repro.sim.network.Network` of MDST nodes over ``graph``."""
+    config = config or MDSTConfig()
+    config.validate()
+    check_network(graph)
+    factory = mdst_node_factory(
+        n_upper=graph.number_of_nodes() + 1,
+        search_period=config.search_period,
+        deblock_cooldown=config.deblock_cooldown,
+        enable_reduction=config.enable_reduction,
+    )
+    return Network(graph, factory)
+
+
+def initialize_from_tree(network: Network, tree_edges: Iterable[Edge]) -> None:
+    """Install a coherent configuration describing the given spanning tree.
+
+    Every node's ``root``/``parent``/``distance`` is set consistently with the
+    tree (rooted at the minimum identifier) and the cached neighbour views are
+    pre-filled, so the spanning-tree layer starts already stabilized and only
+    the degree-reduction layer has work to do.
+    """
+    edges = set(canonical_edges(tree_edges))
+    parent = parent_map_from_edges(network.node_ids, edges)
+    root = min(network.node_ids)
+    # distances from the parent map
+    distance: Dict[NodeId, int] = {root: 0}
+    pending = [v for v in network.node_ids if v != root]
+    while pending:
+        progressed = False
+        rest = []
+        for v in pending:
+            if parent[v] in distance:
+                distance[v] = distance[parent[v]] + 1
+                progressed = True
+            else:
+                rest.append(v)
+        pending = rest
+        if not progressed:  # pragma: no cover - parent_map_from_edges guarantees progress
+            raise ConfigurationError("could not orient the provided tree")
+    degrees = tree_degrees(network.node_ids, edges)
+    dmax = max(degrees.values()) if degrees else 0
+    for v in network.node_ids:
+        proc = network.processes[v]
+        if not isinstance(proc, MDSTNode):
+            raise ConfigurationError("initialize_from_tree requires MDSTNode processes")
+        st = proc.s
+        st.root = root
+        st.parent = parent[v] if parent[v] != v else v
+        st.distance = distance[v]
+        st.sub_max = dmax
+        st.dmax = dmax
+        st.color = True
+        for u in proc.neighbors:
+            view = st.view[u]
+            view.root = root
+            view.parent = parent[u] if parent[u] != u else u
+            view.distance = distance[u]
+            view.degree = degrees[u]
+            view.sub_max = dmax
+            view.dmax = dmax
+            view.color = True
+            view.heard = True
+
+
+def initialize_isolated(network: Network) -> None:
+    """Every node starts alone: own root, no tree edges, empty views."""
+    for v in network.node_ids:
+        proc = network.processes[v]
+        if not isinstance(proc, MDSTNode):
+            raise ConfigurationError("initialize_isolated requires MDSTNode processes")
+        st = proc.s
+        st.root = v
+        st.parent = v
+        st.distance = 0
+        st.sub_max = 0
+        st.dmax = 0
+        st.color = True
+        for u in proc.neighbors:
+            view = st.view[u]
+            view.heard = False
+
+
+def _prepare_initial(network: Network, config: MDSTConfig,
+                     rng: np.random.Generator) -> None:
+    if config.initial == "bfs_tree":
+        initialize_from_tree(network, bfs_spanning_tree(network.graph))
+    elif config.initial == "random_tree":
+        seed = int(rng.integers(0, 2**31 - 1))
+        initialize_from_tree(network, random_spanning_tree(network.graph, seed=seed))
+    elif config.initial == "isolated":
+        initialize_isolated(network)
+    elif config.initial == "corrupted":
+        corrupt_states(network, rng, fraction=1.0)
+        if config.corrupt_channel_fraction > 0:
+            corrupt_channels(network, rng, fraction=config.corrupt_channel_fraction)
+    else:  # pragma: no cover - validate() already rejects unknown policies
+        raise ConfigurationError(f"unknown initial policy {config.initial!r}")
+
+
+def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
+             initial_tree: Optional[Iterable[Edge]] = None,
+             fault_plan: Optional[FaultPlan] = None) -> MDSTResult:
+    """Run the self-stabilizing MDST protocol on ``graph`` to convergence.
+
+    Parameters
+    ----------
+    graph:
+        Undirected connected network.
+    config:
+        Run configuration (defaults to :class:`MDSTConfig` defaults).
+    initial_tree:
+        Explicit initial spanning tree (overrides ``config.initial``).
+    fault_plan:
+        Optional schedule of mid-run transient faults.
+
+    Returns
+    -------
+    MDSTResult
+        Convergence flag, round/step/message counts, final tree and per-node
+        protocol statistics.
+    """
+    config = config or MDSTConfig()
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+    network = build_mdst_network(graph, config)
+    if initial_tree is not None:
+        initialize_from_tree(network, initial_tree)
+    else:
+        _prepare_initial(network, config, rng)
+    legitimacy = make_mdst_legitimacy(require_reduction=config.enable_reduction)
+    scheduler = make_scheduler(config.scheduler, seed=config.seed,
+                               slow_links=config.slow_links, max_delay=config.max_delay)
+    trace = TraceRecorder(keep_events=config.keep_trace_events,
+                          network_size=graph.number_of_nodes())
+    simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,
+                          stability_window=config.stability_window,
+                          fault_plan=fault_plan, trace=trace, rng=rng)
+    report = simulator.run(max_rounds=config.max_rounds,
+                           extra_rounds_after_convergence=config.extra_rounds_after_convergence)
+    tree_edges = current_tree_edges(network)
+    tree_degree_now = current_tree_degree(network)
+    tree_snapshot: Optional[TreeSnapshot] = None
+    if report.converged:
+        parent = {v: int(network.snapshots()[v]["parent"]) for v in network.node_ids}
+        try:
+            tree_snapshot = TreeSnapshot.from_parent_map(parent)
+        except ValueError:
+            tree_snapshot = None
+    run = RunResult(
+        converged=report.converged,
+        rounds=report.rounds,
+        steps=report.steps,
+        messages=report.messages_sent,
+        tree=tree_snapshot,
+        tree_degree=tree_degree_now,
+        extra={
+            "convergence_round": report.convergence_round,
+            "max_message_bits": report.max_message_bits,
+            "max_state_bits": report.max_state_bits,
+            "deliveries_by_type": trace.deliveries_by_type(),
+        },
+    )
+    node_stats = {v: dict(network.processes[v].stats)  # type: ignore[attr-defined]
+                  for v in network.node_ids}
+    return MDSTResult(run=run, report=report, trace=trace,
+                      tree_edges=tree_edges, node_stats=node_stats)

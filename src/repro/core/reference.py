@@ -1,0 +1,123 @@
+"""Round-abstracted reference engine for the paper's improvement rule.
+
+:class:`ReferenceMDST` applies exactly the same moves as the distributed
+algorithm -- chains of deblocking swaps followed by the improvement of a
+maximum-degree node, as computed by :func:`repro.core.improvement.plan_improvement`
+-- but with a central scheduler and no message passing.  It serves two
+purposes:
+
+* **differential oracle**: the distributed protocol and the reference engine
+  must reach trees of the same degree (tests compare them on many graphs);
+* **scalable experiments**: the reference engine handles networks far larger
+  than what the message-level simulation can process, which the complexity
+  experiments (E2) use to extend their sweeps.
+
+The engine also records the *phase* structure used by the paper's complexity
+argument (Lemma 5): a phase ends whenever the tree degree decreases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import networkx as nx
+
+from ..exceptions import ConvergenceError
+from ..graphs.spanning import bfs_spanning_tree, tree_degree, tree_degrees
+from ..graphs.validation import check_spanning_tree
+from ..types import Edge, NodeId, canonical_edges
+from .improvement import Move, TreeIndex, plan_improvement
+
+__all__ = ["ReferenceResult", "ReferenceMDST", "reduce_tree_degree"]
+
+
+@dataclass
+class ReferenceResult:
+    """Outcome of running the reference engine to its fixpoint."""
+
+    tree_edges: set[Edge]
+    initial_degree: int
+    final_degree: int
+    swaps: int
+    chains: int
+    phases: int
+    degree_history: List[int] = field(default_factory=list)
+    moves: List[Move] = field(default_factory=list)
+
+
+class ReferenceMDST:
+    """Centrally scheduled executor of the paper's improvement rule.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    initial_tree:
+        Starting spanning tree; defaults to the BFS tree rooted at the
+        minimum identifier (the tree the distributed substrate builds).
+    max_chains:
+        Safety bound on the number of improvement chains (never reached on
+        the experiment suite; prevents infinite loops on pathological input).
+    """
+
+    def __init__(self, graph: nx.Graph, initial_tree: Optional[Iterable[Edge]] = None,
+                 max_chains: int = 100_000):
+        self.graph = graph
+        if initial_tree is None:
+            initial_tree = bfs_spanning_tree(graph)
+        self.tree_edges: set[Edge] = set(canonical_edges(initial_tree))
+        check_spanning_tree(graph, self.tree_edges)
+        self.max_chains = max_chains
+
+    def run(self, record_moves: bool = False) -> ReferenceResult:
+        """Apply improvement chains until none exists; return the result."""
+        nodes = list(self.graph.nodes)
+        initial_degree = tree_degree(nodes, self.tree_edges)
+        degree_history = [initial_degree]
+        all_moves: List[Move] = []
+        swaps = 0
+        chains = 0
+        seen_states: set[frozenset[Edge]] = {frozenset(self.tree_edges)}
+        while True:
+            plan = plan_improvement(self.graph, self.tree_edges)
+            if plan is None:
+                break
+            chains += 1
+            if chains > self.max_chains:
+                raise ConvergenceError(
+                    f"reference engine exceeded {self.max_chains} improvement chains")
+            index = TreeIndex(self.graph, self.tree_edges)
+            for move in plan:
+                index.apply(move)
+                swaps += 1
+                if record_moves:
+                    all_moves.append(move)
+            self.tree_edges = set(index.tree_edges)
+            fingerprint = frozenset(self.tree_edges)
+            if fingerprint in seen_states:
+                # A repeated state would mean the planner allowed a
+                # non-productive chain; stop rather than loop.
+                degree_history.append(tree_degree(nodes, self.tree_edges))
+                break
+            seen_states.add(fingerprint)
+            degree_history.append(tree_degree(nodes, self.tree_edges))
+        check_spanning_tree(self.graph, self.tree_edges)
+        final_degree = tree_degree(nodes, self.tree_edges)
+        phases = sum(1 for a, b in zip(degree_history, degree_history[1:]) if b < a)
+        return ReferenceResult(
+            tree_edges=set(self.tree_edges),
+            initial_degree=initial_degree,
+            final_degree=final_degree,
+            swaps=swaps,
+            chains=chains,
+            phases=phases,
+            degree_history=degree_history,
+            moves=all_moves,
+        )
+
+
+def reduce_tree_degree(graph: nx.Graph, initial_tree: Optional[Iterable[Edge]] = None
+                       ) -> ReferenceResult:
+    """Convenience wrapper: run the reference engine once and return the result."""
+    return ReferenceMDST(graph, initial_tree=initial_tree).run()

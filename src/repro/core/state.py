@@ -1,0 +1,137 @@
+"""Per-node protocol state of the MDST algorithm (§3.1 "Variables").
+
+Every node keeps
+
+* the spanning-tree variables ``root``, ``parent``, ``distance``;
+* the degree bookkeeping ``dmax`` (estimate of ``deg(T)``), ``sub_max``
+  (PIF feedback value: maximum tree degree within the node's subtree) and
+  ``color`` (the ``color_tree`` consistency flag);
+* one cached :class:`NeighborState` per neighbour, refreshed from ``MInfo``
+  gossip -- this is the send/receive atomicity model: a node computes only on
+  its own variables plus these cached copies.
+
+The tree membership of an edge (``edge_status`` in the paper) and the node's
+own tree degree (``deg_v``) are *derived*: an edge ``{v, u}`` is a tree edge
+iff ``parent_v = u`` or the cached copy of ``parent_u`` equals ``v``.
+Deriving instead of storing removes a whole class of inconsistencies the
+paper has to repair explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..types import NodeId
+
+__all__ = ["NeighborState", "MDSTState"]
+
+
+@dataclass
+class NeighborState:
+    """Cached copy of one neighbour's gossiped variables."""
+
+    root: int = 0
+    parent: int = 0
+    distance: int = 0
+    degree: int = 0
+    sub_max: int = 0
+    dmax: int = 0
+    color: bool = True
+    heard: bool = False
+
+
+@dataclass
+class MDSTState:
+    """All protocol variables owned by one node."""
+
+    node_id: NodeId
+    neighbors: Sequence[NodeId]
+    n_upper: int
+    root: int = 0
+    parent: int = 0
+    distance: int = 0
+    sub_max: int = 0
+    dmax: int = 0
+    color: bool = True
+    view: Dict[NodeId, NeighborState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.root == 0 and self.parent == 0 and self.node_id != 0:
+            # default construction: start as own root (legal but arbitrary)
+            self.root = self.node_id
+            self.parent = self.node_id
+        if not self.view:
+            self.view = {u: NeighborState() for u in self.neighbors}
+
+    # -- derived quantities -----------------------------------------------------
+
+    def is_tree_edge(self, u: NodeId) -> bool:
+        """``edge_status_v[u]`` derived from parent pointers (own + cached)."""
+        if u not in self.view:
+            return False
+        if self.parent == u:
+            return True
+        view = self.view[u]
+        return view.heard and view.parent == self.node_id
+
+    def tree_neighbors(self) -> list[NodeId]:
+        """Neighbours connected to this node by a tree edge."""
+        return [u for u in self.neighbors if self.is_tree_edge(u)]
+
+    def children(self) -> list[NodeId]:
+        """Neighbours whose cached parent pointer designates this node."""
+        return [u for u in self.neighbors
+                if self.view[u].heard and self.view[u].parent == self.node_id]
+
+    @property
+    def degree(self) -> int:
+        """``deg_v``: this node's degree in the current tree."""
+        return len(self.tree_neighbors())
+
+    def non_tree_neighbors(self) -> list[NodeId]:
+        """Neighbours joined to this node by a non-tree edge."""
+        return [u for u in self.neighbors if not self.is_tree_edge(u)]
+
+    # -- corruption / accounting ---------------------------------------------------
+
+    def corrupt(self, rng: np.random.Generator) -> None:
+        """Overwrite every variable (own and cached) with arbitrary values."""
+        pool = list(self.neighbors) + [self.node_id, int(rng.integers(-5, self.n_upper + 5))]
+        self.root = int(rng.choice(pool))
+        self.parent = int(rng.choice(list(self.neighbors) + [self.node_id]))
+        self.distance = int(rng.integers(0, max(2, self.n_upper)))
+        self.sub_max = int(rng.integers(0, max(2, self.n_upper)))
+        self.dmax = int(rng.integers(0, max(2, self.n_upper)))
+        self.color = bool(rng.integers(0, 2))
+        for view in self.view.values():
+            view.root = int(rng.choice(pool))
+            view.parent = int(rng.choice(pool))
+            view.distance = int(rng.integers(0, max(2, self.n_upper)))
+            view.degree = int(rng.integers(0, max(2, self.n_upper)))
+            view.sub_max = int(rng.integers(0, max(2, self.n_upper)))
+            view.dmax = int(rng.integers(0, max(2, self.n_upper)))
+            view.color = bool(rng.integers(0, 2))
+            view.heard = bool(rng.integers(0, 2))
+
+    def state_bits(self, network_size: int) -> int:
+        """Memory footprint in bits: O(δ log n) in the send/receive model."""
+        idbits = max(1, math.ceil(math.log2(max(network_size, 2)))) + 1
+        own = 5 * idbits + 1                       # root, parent, distance, sub_max, dmax, color
+        per_neighbor = 6 * idbits + 2              # cached copy + color + heard
+        return own + per_neighbor * len(self.neighbors)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Protocol variables exposed to global checks and traces."""
+        return {
+            "root": self.root,
+            "parent": self.parent,
+            "distance": self.distance,
+            "degree": self.degree,
+            "sub_max": self.sub_max,
+            "dmax": self.dmax,
+            "color": self.color,
+        }

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors (``TypeError``, ``KeyError`` ...) coming from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised when an input graph violates a structural requirement.
+
+    Typical causes: the graph is empty, disconnected, directed, or contains
+    self-loops -- none of which are supported by the algorithms in this
+    library (the paper assumes an undirected connected network).
+    """
+
+
+class NotConnectedError(GraphError):
+    """Raised when an operation requires a connected graph but got one that
+    is not connected."""
+
+
+class NotASpanningTreeError(GraphError):
+    """Raised when an edge set claimed to be a spanning tree is not one."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the message-passing simulator."""
+
+
+class ChannelError(SimulationError):
+    """Raised on misuse of a FIFO channel (unknown endpoint, closed channel)."""
+
+
+class SchedulerError(SimulationError):
+    """Raised when a scheduler is asked to schedule an impossible step."""
+
+
+class ConvergenceError(SimulationError):
+    """Raised when a protocol fails to converge within its round budget.
+
+    The exception carries the number of rounds executed and, when available,
+    a snapshot of the offending configuration to ease debugging.
+    """
+
+    def __init__(self, message: str, rounds: int | None = None):
+        super().__init__(message)
+        self.rounds = rounds
+
+
+class ProtocolError(SimulationError):
+    """Raised when a protocol implementation violates its own invariants
+    (e.g. a node sends a message over a non-existent link)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or simulator configuration is invalid."""
+
+
+class BaselineError(ReproError):
+    """Raised by baseline algorithms (exact solver, Fürer–Raghavachari, ...)."""
+
+
+class ExactSolverBudgetError(BaselineError):
+    """Raised when the exact MDST solver exceeds its node/edge budget."""

@@ -1,0 +1,385 @@
+"""Experiment definitions E1-E8 (see DESIGN.md §3 and EXPERIMENTS.md).
+
+Each function runs one experiment over the given profile and returns an
+:class:`~repro.analysis.reporting.ExperimentReport` whose rows are the
+"table" that experiment regenerates.  The pytest benchmarks in
+``benchmarks/`` call these functions with the ``quick`` profile and print the
+tables; EXPERIMENTS.md records representative output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..analysis.convergence import ConvergenceRecord, loglog_slope, paper_round_bound
+from ..analysis.memory import memory_report, message_bound_bits, state_bound_bits
+from ..analysis.metrics import evaluate_tree
+from ..analysis.reporting import ExperimentReport
+from ..baselines.blin_butelle import serialized_vs_concurrent_cost
+from ..baselines.exact import exact_mdst_degree
+from ..baselines.fuerer_raghavachari import fuerer_raghavachari
+from ..baselines.local_search import greedy_local_search
+from ..baselines.simple_trees import evaluate_simple_trees
+from ..core.improvement import improvement_possible
+from ..core.protocol import MDSTConfig, build_mdst_network, run_mdst
+from ..core.reference import ReferenceMDST
+from ..graphs.properties import is_hamiltonian_path_certificate, mdst_lower_bound
+from ..graphs.spanning import bfs_spanning_tree, tree_degree
+from ..sim.faults import FaultPlan
+from .config import ExperimentProfile, get_profile
+from .workloads import (
+    WorkloadInstance,
+    baseline_workload,
+    hub_workload,
+    quality_workload,
+    scaling_workload,
+    stabilization_workload,
+)
+
+__all__ = [
+    "experiment_e1_degree_quality",
+    "experiment_e2_convergence",
+    "experiment_e3_memory",
+    "experiment_e4_message_length",
+    "experiment_e5_self_stabilization",
+    "experiment_e6_baselines",
+    "experiment_e7_simultaneous_reduction",
+    "experiment_e8_improvement_cost",
+    "run_all_experiments",
+]
+
+
+def _known_optimal(graph: nx.Graph, exact_limit: int = 12) -> Optional[int]:
+    """Δ* when cheaply available: exact solver (small n) or a certificate."""
+    cert = graph.graph.get("hamiltonian_path")
+    if cert and is_hamiltonian_path_certificate(graph, cert):
+        return 2
+    if graph.graph.get("family") == "two_hub":
+        # L leaves each adjacent to both hubs: any tree needs deg(a)+deg(b) >= L+1,
+        # and a balanced split achieves ceil((L+1)/2) = L//2 + 1.
+        leaves = graph.number_of_nodes() - 2
+        return leaves // 2 + 1
+    if graph.number_of_nodes() <= exact_limit:
+        return exact_mdst_degree(graph)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# E1: Theorem 2 -- final degree within one of optimal
+# ---------------------------------------------------------------------------
+
+def experiment_e1_degree_quality(profile: ExperimentProfile | str = "quick",
+                                 use_protocol: bool = True) -> ExperimentReport:
+    """Final tree degree of the algorithm vs Δ* (exact or certified) and FR."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E1",
+        description="Theorem 2: deg(T) <= Δ*+1 across graph families",
+        metadata={"profile": profile.name},
+    )
+    for instance in quality_workload(profile):
+        graph = instance.build()
+        optimal = _known_optimal(graph)
+        reference = ReferenceMDST(graph).run()
+        fr = fuerer_raghavachari(graph)
+        row: Dict[str, object] = {
+            "family": instance.family,
+            "n": graph.number_of_nodes(),
+            "m": graph.number_of_edges(),
+            "seed": instance.seed,
+            "optimal": optimal,
+            "lower_bound": mdst_lower_bound(graph),
+            "bfs_degree": tree_degree(graph.nodes, bfs_spanning_tree(graph)),
+            "reference_degree": reference.final_degree,
+            "fr_degree": fr.final_degree,
+        }
+        if use_protocol and graph.number_of_nodes() <= max(profile.protocol_sizes):
+            result = run_mdst(graph, MDSTConfig(seed=instance.seed,
+                                                max_rounds=profile.max_rounds))
+            row["protocol_degree"] = result.tree_degree
+            row["protocol_converged"] = result.converged
+        if optimal is not None:
+            achieved = row.get("protocol_degree", reference.final_degree)
+            row["within_one"] = achieved <= optimal + 1
+        report.add_row(**row)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E2: Lemma 5 -- convergence rounds scale polynomially
+# ---------------------------------------------------------------------------
+
+def experiment_e2_convergence(profile: ExperimentProfile | str = "quick"
+                              ) -> ExperimentReport:
+    """Convergence rounds / messages vs network size, against the paper bound."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E2",
+        description="Lemma 5: convergence rounds vs n, m (paper bound m*n^2*log n)",
+        metadata={"profile": profile.name},
+    )
+    for instance in scaling_workload(profile):
+        graph = instance.build()
+        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="isolated",
+                                            max_rounds=profile.max_rounds))
+        rounds = result.run.extra.get("convergence_round") or result.rounds
+        report.add_row(
+            family=instance.family,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            seed=instance.seed,
+            converged=result.converged,
+            rounds=rounds,
+            messages=result.run.messages,
+            tree_degree=result.tree_degree,
+            paper_bound=int(paper_round_bound(graph.number_of_nodes(),
+                                              graph.number_of_edges())),
+        )
+    # attach the empirical scaling exponent per family
+    slopes: Dict[str, float] = {}
+    for family, rows in report.group_by("family").items():
+        sizes = [r["n"] for r in rows if r["converged"]]
+        rounds = [r["rounds"] for r in rows if r["converged"]]
+        if len(set(sizes)) >= 2:
+            slopes[str(family)] = round(loglog_slope(sizes, rounds), 3)
+    report.metadata["round_scaling_exponents"] = slopes
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E3: memory O(δ log n)
+# ---------------------------------------------------------------------------
+
+def experiment_e3_memory(profile: ExperimentProfile | str = "quick"
+                         ) -> ExperimentReport:
+    """Measured per-node state bits vs the O(δ log n) envelope."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E3",
+        description="Lemma 5: per-node memory vs O(δ log n) bound",
+        metadata={"profile": profile.name},
+    )
+    for instance in scaling_workload(profile):
+        graph = instance.build()
+        network = build_mdst_network(graph, MDSTConfig(seed=instance.seed))
+        mem = memory_report(network)
+        row = mem.as_dict()
+        row["family"] = instance.family
+        row["seed"] = instance.seed
+        report.add_row(**row)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E4: message length O(n log n)
+# ---------------------------------------------------------------------------
+
+def experiment_e4_message_length(profile: ExperimentProfile | str = "quick"
+                                 ) -> ExperimentReport:
+    """Largest message observed during a run vs the O(n log n) envelope."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E4",
+        description="Message length vs O(n log n) bound",
+        metadata={"profile": profile.name},
+    )
+    for instance in scaling_workload(profile):
+        graph = instance.build()
+        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="bfs_tree",
+                                            max_rounds=profile.max_rounds))
+        n = graph.number_of_nodes()
+        report.add_row(
+            family=instance.family,
+            n=n,
+            m=graph.number_of_edges(),
+            seed=instance.seed,
+            max_message_bits=result.run.extra.get("max_message_bits", 0),
+            bound_bits=message_bound_bits(n),
+            within_bound=(result.run.extra.get("max_message_bits", 0)
+                          <= message_bound_bits(n)),
+            converged=result.converged,
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E5: self-stabilization -- convergence and recovery from arbitrary states
+# ---------------------------------------------------------------------------
+
+def experiment_e5_self_stabilization(profile: ExperimentProfile | str = "quick"
+                                     ) -> ExperimentReport:
+    """Convergence from corrupted states, under several schedulers, plus
+    recovery after a mid-run transient fault."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E5",
+        description="Definition 1: convergence + closure from arbitrary configurations",
+        metadata={"profile": profile.name},
+    )
+    for instance in stabilization_workload(profile):
+        graph = instance.build()
+        for scheduler in profile.schedulers:
+            for initial in ("corrupted", "isolated"):
+                result = run_mdst(graph, MDSTConfig(
+                    seed=instance.seed, scheduler=scheduler, initial=initial,
+                    max_rounds=profile.max_rounds))
+                report.add_row(
+                    family=instance.family,
+                    n=graph.number_of_nodes(),
+                    scheduler=scheduler,
+                    initial=initial,
+                    mode="cold-start",
+                    converged=result.converged,
+                    rounds=result.run.extra.get("convergence_round") or result.rounds,
+                    closure_violations=len(result.report.closure_violations),
+                    tree_degree=result.tree_degree,
+                )
+        # recovery: converge first, then corrupt half the nodes mid-run
+        plan = FaultPlan().add(round_index=profile.max_rounds // 4, node_fraction=0.5)
+        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="bfs_tree",
+                                            max_rounds=profile.max_rounds),
+                          fault_plan=plan)
+        report.add_row(
+            family=instance.family,
+            n=graph.number_of_nodes(),
+            scheduler="synchronous",
+            initial="bfs_tree",
+            mode="mid-run-fault",
+            converged=result.converged,
+            rounds=result.run.extra.get("convergence_round") or result.rounds,
+            closure_violations=len(result.report.closure_violations),
+            tree_degree=result.tree_degree,
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E6: degree of MDST vs naive spanning trees
+# ---------------------------------------------------------------------------
+
+def experiment_e6_baselines(profile: ExperimentProfile | str = "quick"
+                            ) -> ExperimentReport:
+    """Maximum degree of BFS/DFS/MST/random trees vs the algorithm's tree."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E6",
+        description="Motivation: naive tree degree vs MDST degree",
+        metadata={"profile": profile.name},
+    )
+    for instance in baseline_workload(profile):
+        graph = instance.build()
+        naive = evaluate_simple_trees(graph, seed=instance.seed)
+        reference = ReferenceMDST(graph).run()
+        local = greedy_local_search(graph)
+        row: Dict[str, object] = {
+            "family": instance.family,
+            "n": graph.number_of_nodes(),
+            "m": graph.number_of_edges(),
+            "seed": instance.seed,
+            "mdst_degree": reference.final_degree,
+            "local_search_degree": local.final_degree,
+            "lower_bound": mdst_lower_bound(graph),
+        }
+        for name, res in naive.items():
+            row[f"{name}_degree"] = res.degree
+        report.add_row(**row)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E7: simultaneous reduction of several maximum-degree nodes
+# ---------------------------------------------------------------------------
+
+def experiment_e7_simultaneous_reduction(profile: ExperimentProfile | str = "quick",
+                                         hub_counts: Sequence[int] = (2, 3, 4)
+                                         ) -> ExperimentReport:
+    """Cost of reducing several hubs: serialized model vs concurrent model vs
+    the real message-passing protocol."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E7",
+        description="Simultaneous degree reduction on multi-hub graphs (vs serialized)",
+        metadata={"profile": profile.name},
+    )
+    seen: set[tuple] = set()
+    for instance in hub_workload(profile, hub_counts=hub_counts):
+        key = (instance.family, instance.n)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph = instance.build()
+        model = serialized_vs_concurrent_cost(graph)
+        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="bfs_tree",
+                                            max_rounds=profile.max_rounds))
+        initial_deg = tree_degree(graph.nodes, bfs_spanning_tree(graph))
+        report.add_row(
+            hubs=instance.n // 5,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            initial_degree=initial_deg,
+            final_degree=model.final_degree,
+            swaps=model.swaps,
+            serialized_rounds=model.serialized_rounds,
+            concurrent_rounds=model.concurrent_rounds,
+            speedup=round(model.speedup, 2),
+            protocol_rounds=result.run.extra.get("convergence_round") or result.rounds,
+            protocol_degree=result.tree_degree,
+            protocol_converged=result.converged,
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E8: cost of a single improvement (Figures 4-5 micro-benchmark)
+# ---------------------------------------------------------------------------
+
+def experiment_e8_improvement_cost(profile: ExperimentProfile | str = "quick",
+                                   cycle_lengths: Sequence[int] = (6, 10, 16)
+                                   ) -> ExperimentReport:
+    """Rounds and messages needed for one improvement on a cycle + hub graph."""
+    profile = get_profile(profile) if isinstance(profile, str) else profile
+    report = ExperimentReport(
+        experiment="E8",
+        description="Single improvement cost vs fundamental-cycle length (Figs 4-5)",
+        metadata={"profile": profile.name},
+    )
+    from ..graphs.generators import hard_hub_graph
+    for length in cycle_lengths:
+        graph = hard_hub_graph(length)
+        initial = bfs_spanning_tree(graph, root=0)
+        initial_degree = tree_degree(graph.nodes, initial)
+        result = run_mdst(graph, MDSTConfig(seed=7, initial="bfs_tree",
+                                            max_rounds=profile.max_rounds),
+                          initial_tree=initial)
+        by_type = result.run.extra.get("deliveries_by_type", {})
+        report.add_row(
+            hub_degree=length,
+            n=graph.number_of_nodes(),
+            initial_degree=initial_degree,
+            final_degree=result.tree_degree,
+            converged=result.converged,
+            rounds=result.run.extra.get("convergence_round") or result.rounds,
+            search_messages=by_type.get("Search", 0),
+            remove_messages=by_type.get("Remove", 0),
+            back_messages=by_type.get("Back", 0),
+            deblock_messages=by_type.get("Deblock", 0),
+        )
+    return report
+
+
+def run_all_experiments(profile: ExperimentProfile | str = "quick"
+                        ) -> Dict[str, ExperimentReport]:
+    """Run every experiment and return the reports keyed by experiment id."""
+    return {
+        "E1": experiment_e1_degree_quality(profile),
+        "E2": experiment_e2_convergence(profile),
+        "E3": experiment_e3_memory(profile),
+        "E4": experiment_e4_message_length(profile),
+        "E5": experiment_e5_self_stabilization(profile),
+        "E6": experiment_e6_baselines(profile),
+        "E7": experiment_e7_simultaneous_reduction(profile),
+        "E8": experiment_e8_improvement_cost(profile),
+    }

@@ -1,0 +1,71 @@
+"""Sweep runner: execute the protocol / reference engine over workloads.
+
+The runner is a thin orchestration layer gluing together workload instances,
+protocol configurations and the analysis records; each experiment definition
+in :mod:`repro.experiments.experiments` composes these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import networkx as nx
+
+from ..analysis.convergence import ConvergenceRecord
+from ..analysis.memory import MemoryReport, memory_report
+from ..core.protocol import MDSTConfig, MDSTResult, build_mdst_network, run_mdst
+from ..core.reference import ReferenceMDST, ReferenceResult
+from ..graphs.spanning import bfs_spanning_tree
+from .workloads import WorkloadInstance
+
+__all__ = ["ProtocolRun", "run_protocol_on", "run_reference_on", "protocol_record"]
+
+
+@dataclass
+class ProtocolRun:
+    """A protocol execution bundled with its workload instance."""
+
+    instance: WorkloadInstance
+    graph: nx.Graph
+    result: MDSTResult
+
+    @property
+    def record(self) -> ConvergenceRecord:
+        return protocol_record(self.instance, self.graph, self.result)
+
+
+def protocol_record(instance: WorkloadInstance, graph: nx.Graph,
+                    result: MDSTResult, scheduler: str = "") -> ConvergenceRecord:
+    """Reduce a protocol run to a :class:`ConvergenceRecord`."""
+    return ConvergenceRecord(
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        rounds=result.run.rounds,
+        convergence_round=result.run.extra.get("convergence_round"),
+        steps=result.run.steps,
+        messages=result.run.messages,
+        converged=result.run.converged,
+        tree_degree=result.run.tree_degree,
+        seed=instance.seed,
+        family=instance.family,
+        scheduler=scheduler,
+    )
+
+
+def run_protocol_on(instance: WorkloadInstance, config: Optional[MDSTConfig] = None,
+                    graph: Optional[nx.Graph] = None) -> ProtocolRun:
+    """Run the message-passing protocol on one workload instance."""
+    graph = graph if graph is not None else instance.build()
+    config = config or MDSTConfig(seed=instance.seed)
+    result = run_mdst(graph, config)
+    return ProtocolRun(instance=instance, graph=graph, result=result)
+
+
+def run_reference_on(instance: WorkloadInstance, graph: Optional[nx.Graph] = None,
+                     from_bfs: bool = True) -> tuple[nx.Graph, ReferenceResult]:
+    """Run the reference engine on one workload instance."""
+    graph = graph if graph is not None else instance.build()
+    initial = bfs_spanning_tree(graph) if from_bfs else None
+    engine = ReferenceMDST(graph, initial_tree=initial)
+    return graph, engine.run()

@@ -1,0 +1,486 @@
+"""Graph generators used throughout the experiments.
+
+All generators return simple, undirected, connected :class:`networkx.Graph`
+instances whose nodes are the integers ``0 .. n-1``.  Node identifiers double
+as the unique processor identifiers required by the paper (each node has a
+unique, totally ordered ``ID_v``).
+
+The generators are deterministic given a seed: every random family threads an
+explicit ``seed`` argument through :func:`numpy.random.default_rng` so that
+experiments are reproducible run-to-run.
+
+Families
+--------
+The families were chosen to exercise the minimum-degree spanning tree
+algorithm in qualitatively different regimes:
+
+* *dense* graphs (complete, dense Erdős–Rényi) where Δ* = 2 (a Hamiltonian
+  path exists) but naive trees have huge degree;
+* *sparse* random graphs (connected Erdős–Rényi, random geometric) typical of
+  ad-hoc / sensor deployments motivating the paper;
+* *structured* graphs (grid, torus, hypercube, ring with chords) with known
+  optimal degrees;
+* *adversarial* graphs (star-of-cliques, spider, lollipop, caterpillar with
+  hubs) that contain high-degree hubs and blocking nodes, stressing the
+  Deblock recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import GraphError
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "wheel_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "ring_with_chords",
+    "erdos_renyi_connected",
+    "random_geometric_connected",
+    "barabasi_albert_graph",
+    "watts_strogatz_connected",
+    "random_regular_connected",
+    "star_of_cliques",
+    "spider_graph",
+    "lollipop_graph",
+    "barbell_graph",
+    "caterpillar_with_hubs",
+    "hard_hub_graph",
+    "dense_hamiltonian_graph",
+    "two_hub_graph",
+    "GRAPH_FAMILIES",
+    "make_graph",
+    "family_names",
+]
+
+
+def _finalize(g: nx.Graph, name: str) -> nx.Graph:
+    """Relabel nodes to ``0..n-1`` ints, verify simple/connected, tag name."""
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    g.remove_edges_from(nx.selfloop_edges(g))
+    if g.number_of_nodes() == 0:
+        raise GraphError(f"generator {name!r} produced an empty graph")
+    if not nx.is_connected(g):
+        raise GraphError(f"generator {name!r} produced a disconnected graph")
+    g.graph["family"] = name
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Deterministic structured families
+# ---------------------------------------------------------------------------
+
+def complete_graph(n: int) -> nx.Graph:
+    """Complete graph ``K_n`` (Δ* = 2 for n >= 2: any Hamiltonian path)."""
+    if n < 1:
+        raise GraphError("complete_graph requires n >= 1")
+    return _finalize(nx.complete_graph(n), "complete")
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """Cycle ``C_n`` (n >= 3).  Every spanning tree is a path, so Δ* = 2."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    return _finalize(nx.cycle_graph(n), "cycle")
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Path ``P_n``; the graph is already its own (unique) spanning tree."""
+    if n < 2:
+        raise GraphError("path_graph requires n >= 2")
+    return _finalize(nx.path_graph(n), "path")
+
+
+def star_graph(n: int) -> nx.Graph:
+    """Star with ``n`` leaves; the unique spanning tree has degree ``n``.
+
+    This is the canonical example where *no* improvement is possible: the
+    centre is a cut vertex adjacent to every leaf, hence Δ* = n and the
+    algorithm must terminate immediately with the star itself.
+    """
+    if n < 1:
+        raise GraphError("star_graph requires n >= 1 leaves")
+    return _finalize(nx.star_graph(n), "star")
+
+
+def wheel_graph(n: int) -> nx.Graph:
+    """Wheel: a hub connected to every node of a cycle ``C_{n-1}`` (Δ* = 2... 3)."""
+    if n < 4:
+        raise GraphError("wheel_graph requires n >= 4")
+    return _finalize(nx.wheel_graph(n), "wheel")
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """2D grid graph ``rows x cols`` (Δ* <= 3 for non-degenerate grids)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid_graph requires positive dimensions")
+    if rows * cols < 2:
+        raise GraphError("grid_graph requires at least 2 nodes")
+    return _finalize(nx.grid_2d_graph(rows, cols), "grid")
+
+
+def torus_graph(rows: int, cols: int) -> nx.Graph:
+    """2D torus (grid with wrap-around edges)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus_graph requires both dimensions >= 3")
+    return _finalize(nx.grid_2d_graph(rows, cols, periodic=True), "torus")
+
+
+def hypercube_graph(dim: int) -> nx.Graph:
+    """Hypercube ``Q_dim`` with ``2**dim`` nodes."""
+    if dim < 1:
+        raise GraphError("hypercube_graph requires dim >= 1")
+    return _finalize(nx.hypercube_graph(dim), "hypercube")
+
+
+def ring_with_chords(n: int, chords: int, seed: int | None = None) -> nx.Graph:
+    """Cycle ``C_n`` augmented with ``chords`` random chords.
+
+    A classical testbed for fundamental-cycle based algorithms: every chord
+    defines exactly one fundamental cycle with respect to the ring.
+    """
+    if n < 4:
+        raise GraphError("ring_with_chords requires n >= 4")
+    rng = np.random.default_rng(seed)
+    g = nx.cycle_graph(n)
+    max_chords = n * (n - 1) // 2 - n
+    chords = min(chords, max_chords)
+    added = 0
+    attempts = 0
+    while added < chords and attempts < 50 * (chords + 1):
+        attempts += 1
+        u, v = rng.integers(0, n, size=2)
+        u, v = int(u), int(v)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        added += 1
+    return _finalize(g, "ring_with_chords")
+
+
+# ---------------------------------------------------------------------------
+# Random families
+# ---------------------------------------------------------------------------
+
+def erdos_renyi_connected(n: int, p: float, seed: int | None = None,
+                          max_tries: int = 200) -> nx.Graph:
+    """Connected Erdős–Rényi graph ``G(n, p)``.
+
+    The generator retries with fresh randomness (derived from ``seed``) until
+    a connected sample is found; if ``p`` is too small for connectivity to be
+    plausible, the sample is patched by linking its components with random
+    edges so that the function always succeeds deterministically.
+    """
+    if n < 2:
+        raise GraphError("erdos_renyi_connected requires n >= 2")
+    if not (0.0 <= p <= 1.0):
+        raise GraphError("p must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    g = None
+    for _ in range(max_tries):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        g = nx.gnp_random_graph(n, p, seed=sub_seed)
+        if nx.is_connected(g):
+            return _finalize(g, "erdos_renyi")
+    # Patch connectivity: connect consecutive components with a random edge.
+    assert g is not None
+    comps = [list(c) for c in nx.connected_components(g)]
+    for a, b in zip(comps, comps[1:]):
+        u = a[int(rng.integers(0, len(a)))]
+        v = b[int(rng.integers(0, len(b)))]
+        g.add_edge(u, v)
+    return _finalize(g, "erdos_renyi")
+
+
+def random_geometric_connected(n: int, radius: float | None = None,
+                               seed: int | None = None) -> nx.Graph:
+    """Connected random geometric graph in the unit square.
+
+    Models the wireless ad-hoc / sensor deployments motivating the paper.
+    When ``radius`` is omitted a radius slightly above the connectivity
+    threshold ``sqrt(log n / (pi n))`` is used.
+    """
+    if n < 2:
+        raise GraphError("random_geometric_connected requires n >= 2")
+    if radius is None:
+        radius = 1.4 * math.sqrt(math.log(max(n, 2)) / (math.pi * n))
+    rng = np.random.default_rng(seed)
+    for _ in range(200):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        g = nx.random_geometric_graph(n, radius, seed=sub_seed)
+        if nx.is_connected(g):
+            return _finalize(g, "random_geometric")
+        radius *= 1.1
+    raise GraphError("could not generate a connected random geometric graph")
+
+
+def barabasi_albert_graph(n: int, m: int = 2, seed: int | None = None) -> nx.Graph:
+    """Barabási–Albert preferential-attachment graph (hubs; always connected)."""
+    if n < 3:
+        raise GraphError("barabasi_albert_graph requires n >= 3")
+    m = max(1, min(m, n - 1))
+    g = nx.barabasi_albert_graph(n, m, seed=seed)
+    return _finalize(g, "barabasi_albert")
+
+
+def watts_strogatz_connected(n: int, k: int = 4, p: float = 0.2,
+                             seed: int | None = None) -> nx.Graph:
+    """Connected Watts–Strogatz small-world graph."""
+    if n < 5:
+        raise GraphError("watts_strogatz_connected requires n >= 5")
+    k = max(2, min(k, n - 1))
+    g = nx.connected_watts_strogatz_graph(n, k, p, tries=200, seed=seed)
+    return _finalize(g, "watts_strogatz")
+
+
+def random_regular_connected(n: int, d: int = 3, seed: int | None = None) -> nx.Graph:
+    """Connected random ``d``-regular graph (``n*d`` must be even)."""
+    if n < d + 1:
+        raise GraphError("random_regular_connected requires n > d")
+    if (n * d) % 2 != 0:
+        raise GraphError("n * d must be even for a d-regular graph")
+    rng = np.random.default_rng(seed)
+    for _ in range(200):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        g = nx.random_regular_graph(d, n, seed=sub_seed)
+        if nx.is_connected(g):
+            return _finalize(g, "random_regular")
+    raise GraphError("could not generate a connected random regular graph")
+
+
+# ---------------------------------------------------------------------------
+# Adversarial / hub-heavy families
+# ---------------------------------------------------------------------------
+
+def star_of_cliques(hub_count: int, clique_size: int) -> nx.Graph:
+    """Several cliques, each attached to a dedicated hub, hubs on a cycle.
+
+    Every hub is adjacent to all nodes of its clique, giving several
+    simultaneous maximum-degree nodes.  The paper highlights (vs. Blin–Butelle)
+    that its algorithm can decrease the degree of *all* maximum-degree nodes
+    simultaneously; experiment E7 uses this family.
+    """
+    if hub_count < 2 or clique_size < 2:
+        raise GraphError("star_of_cliques requires hub_count >= 2, clique_size >= 2")
+    g = nx.Graph()
+    hubs = list(range(hub_count))
+    next_id = hub_count
+    for h in hubs:
+        members = list(range(next_id, next_id + clique_size))
+        next_id += clique_size
+        for i, u in enumerate(members):
+            g.add_edge(h, u)
+            for v in members[i + 1:]:
+                g.add_edge(u, v)
+    for i in range(hub_count):
+        g.add_edge(hubs[i], hubs[(i + 1) % hub_count])
+    return _finalize(g, "star_of_cliques")
+
+
+def spider_graph(legs: int, leg_length: int) -> nx.Graph:
+    """A centre node with ``legs`` paths of ``leg_length`` nodes attached.
+
+    The centre is a cut vertex of degree ``legs``; no improvement is possible,
+    so Δ* = legs.  Useful to check that the algorithm does not loop forever
+    looking for improvements that do not exist.
+    """
+    if legs < 1 or leg_length < 1:
+        raise GraphError("spider_graph requires legs >= 1 and leg_length >= 1")
+    g = nx.Graph()
+    centre = 0
+    nid = 1
+    for _ in range(legs):
+        prev = centre
+        for _ in range(leg_length):
+            g.add_edge(prev, nid)
+            prev = nid
+            nid += 1
+    return _finalize(g, "spider")
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> nx.Graph:
+    """Clique ``K_m`` attached to a path of ``path_length`` nodes."""
+    if clique_size < 3 or path_length < 1:
+        raise GraphError("lollipop_graph requires clique_size >= 3, path_length >= 1")
+    return _finalize(nx.lollipop_graph(clique_size, path_length), "lollipop")
+
+
+def barbell_graph(clique_size: int, path_length: int = 0) -> nx.Graph:
+    """Two cliques ``K_m`` joined by a path."""
+    if clique_size < 3:
+        raise GraphError("barbell_graph requires clique_size >= 3")
+    return _finalize(nx.barbell_graph(clique_size, path_length), "barbell")
+
+
+def caterpillar_with_hubs(spine_length: int, leaves_per_hub: int,
+                          extra_edges: int = 0, seed: int | None = None) -> nx.Graph:
+    """A spine path whose every node carries ``leaves_per_hub`` leaves, plus
+    optional random extra edges between leaves of adjacent hubs.
+
+    Without the extra edges the caterpillar is a tree (its own MDST); the
+    extra edges create improving edges that let hub degrees be reduced.
+    """
+    if spine_length < 2 or leaves_per_hub < 1:
+        raise GraphError("caterpillar requires spine_length >= 2, leaves_per_hub >= 1")
+    rng = np.random.default_rng(seed)
+    g = nx.Graph()
+    spine = list(range(spine_length))
+    nx.add_path(g, spine)
+    nid = spine_length
+    leaves: dict[int, list[int]] = {}
+    for s in spine:
+        leaves[s] = []
+        for _ in range(leaves_per_hub):
+            g.add_edge(s, nid)
+            leaves[s].append(nid)
+            nid += 1
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        i = int(rng.integers(0, spine_length - 1))
+        u = leaves[i][int(rng.integers(0, leaves_per_hub))]
+        v = leaves[i + 1][int(rng.integers(0, leaves_per_hub))]
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return _finalize(g, "caterpillar_with_hubs")
+
+
+def hard_hub_graph(hub_degree: int, seed: int | None = None) -> nx.Graph:
+    """A hub of high degree whose neighbours form a sparse cycle.
+
+    The hub has degree ``hub_degree`` in the graph; its neighbours form a
+    cycle, so Δ* = 3 or less while a BFS tree rooted anywhere near the hub
+    has degree ``hub_degree``.  Designed so that many successive improvements
+    are required, exercising the Remove/Back/Reverse pipeline repeatedly.
+    """
+    if hub_degree < 3:
+        raise GraphError("hard_hub_graph requires hub_degree >= 3")
+    g = nx.Graph()
+    hub = 0
+    ring = list(range(1, hub_degree + 1))
+    for u in ring:
+        g.add_edge(hub, u)
+    for i, u in enumerate(ring):
+        g.add_edge(u, ring[(i + 1) % len(ring)])
+    return _finalize(g, "hard_hub")
+
+
+def dense_hamiltonian_graph(n: int, extra_edge_prob: float = 0.5,
+                            seed: int | None = None) -> nx.Graph:
+    """Graph guaranteed to contain a Hamiltonian path (hence Δ* = 2).
+
+    A path over a random permutation of nodes plus random extra edges.
+    Since the optimal degree is known exactly (2), these graphs give a sharp
+    test of the Δ*+1 guarantee on instances where exact solving is infeasible.
+    """
+    if n < 2:
+        raise GraphError("dense_hamiltonian_graph requires n >= 2")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for a, b in zip(perm, perm[1:]):
+        g.add_edge(int(a), int(b))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and rng.random() < extra_edge_prob:
+                g.add_edge(u, v)
+    g.graph["hamiltonian_path"] = [int(x) for x in perm]
+    return _finalize(g, "dense_hamiltonian")
+
+
+def two_hub_graph(leaf_count: int) -> nx.Graph:
+    """Two adjacent hubs sharing ``leaf_count`` common neighbours.
+
+    Each shared leaf is adjacent to both hubs, so leaves can be re-parented
+    from one hub to the other: the MDST balances the hub degrees, giving
+    Δ* = ceil(leaf_count / 2) + 1.  A compact instance whose optimum is known
+    in closed form, used in unit tests.
+    """
+    if leaf_count < 2:
+        raise GraphError("two_hub_graph requires leaf_count >= 2")
+    g = nx.Graph()
+    a, b = 0, 1
+    g.add_edge(a, b)
+    for i in range(leaf_count):
+        leaf = 2 + i
+        g.add_edge(a, leaf)
+        g.add_edge(b, leaf)
+    return _finalize(g, "two_hub")
+
+
+# ---------------------------------------------------------------------------
+# Family registry
+# ---------------------------------------------------------------------------
+
+#: Registry mapping a family name to a ``(callable, default_kwargs)`` pair.
+#: Callables take ``n`` (target size) and ``seed`` and return a graph whose
+#: node count is *approximately* ``n`` (exact for most families).
+GRAPH_FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
+    "complete": lambda n, seed=None: complete_graph(n),
+    "cycle": lambda n, seed=None: cycle_graph(max(n, 3)),
+    "path": lambda n, seed=None: path_graph(max(n, 2)),
+    "star": lambda n, seed=None: star_graph(max(n - 1, 1)),
+    "wheel": lambda n, seed=None: wheel_graph(max(n, 4)),
+    "grid": lambda n, seed=None: grid_graph(max(int(round(math.sqrt(n))), 2),
+                                            max(int(round(math.sqrt(n))), 2)),
+    "torus": lambda n, seed=None: torus_graph(max(int(round(math.sqrt(n))), 3),
+                                              max(int(round(math.sqrt(n))), 3)),
+    "hypercube": lambda n, seed=None: hypercube_graph(max(int(round(math.log2(max(n, 2)))), 1)),
+    "ring_with_chords": lambda n, seed=None: ring_with_chords(max(n, 4), max(n // 3, 1), seed=seed),
+    "erdos_renyi_sparse": lambda n, seed=None: erdos_renyi_connected(
+        n, min(1.0, 2.5 * math.log(max(n, 2)) / max(n, 2)), seed=seed),
+    "erdos_renyi_dense": lambda n, seed=None: erdos_renyi_connected(n, 0.5, seed=seed),
+    "random_geometric": lambda n, seed=None: random_geometric_connected(n, seed=seed),
+    "barabasi_albert": lambda n, seed=None: barabasi_albert_graph(max(n, 3), 2, seed=seed),
+    "watts_strogatz": lambda n, seed=None: watts_strogatz_connected(max(n, 5), 4, 0.2, seed=seed),
+    "random_regular": lambda n, seed=None: random_regular_connected(
+        n if (n * 3) % 2 == 0 else n + 1, 3, seed=seed),
+    "star_of_cliques": lambda n, seed=None: star_of_cliques(max(n // 5, 2), 4),
+    "spider": lambda n, seed=None: spider_graph(max(n // 4, 2), 3),
+    "lollipop": lambda n, seed=None: lollipop_graph(max(n // 2, 3), max(n // 2, 1)),
+    "two_hub": lambda n, seed=None: two_hub_graph(max(n - 2, 2)),
+    "hard_hub": lambda n, seed=None: hard_hub_graph(max(n - 1, 3)),
+    "dense_hamiltonian": lambda n, seed=None: dense_hamiltonian_graph(n, 0.4, seed=seed),
+    "caterpillar": lambda n, seed=None: caterpillar_with_hubs(
+        max(n // 5, 2), 4, extra_edges=max(n // 5, 1), seed=seed),
+}
+
+
+def family_names() -> list[str]:
+    """Sorted list of registered graph family names."""
+    return sorted(GRAPH_FAMILIES)
+
+
+def make_graph(family: str, n: int, seed: int | None = None) -> nx.Graph:
+    """Instantiate a registered graph family with ~``n`` nodes.
+
+    Parameters
+    ----------
+    family:
+        Name of a family in :data:`GRAPH_FAMILIES`.
+    n:
+        Target number of nodes (families with structural constraints may
+        round it, e.g. grids round to a square).
+    seed:
+        Seed for random families; ignored by deterministic ones.
+    """
+    try:
+        factory = GRAPH_FAMILIES[family]
+    except KeyError as exc:
+        raise GraphError(
+            f"unknown graph family {family!r}; known: {family_names()}"
+        ) from exc
+    return factory(n, seed=seed)

@@ -1,0 +1,120 @@
+"""Serialisation of networks and trees to simple text formats.
+
+Experiments write their instances and resulting trees to disk so that runs
+can be replayed and inspected.  The formats are intentionally trivial
+(whitespace-separated edge lists with ``#``-comments) so that they can be
+consumed by external tools and diffed by humans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable
+
+import networkx as nx
+
+from ..exceptions import GraphError
+from ..types import Edge, NodeId, canonical_edge
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_tree",
+    "read_tree",
+    "graph_to_dict",
+    "graph_from_dict",
+    "write_graph_json",
+    "read_graph_json",
+]
+
+
+def write_edge_list(graph: nx.Graph, path: str | Path) -> None:
+    """Write ``graph`` as an edge list: one ``u v`` pair per line.
+
+    The node count is recorded in a header comment so isolated nodes (never
+    produced by our generators, but accepted on read) round-trip correctly.
+    """
+    path = Path(path)
+    lines = [f"# nodes {graph.number_of_nodes()}",
+             f"# family {graph.graph.get('family', 'unknown')}"]
+    for u, v in sorted(canonical_edge(u, v) for u, v in graph.edges):
+        lines.append(f"{u} {v}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: str | Path) -> nx.Graph:
+    """Read a graph previously written by :func:`write_edge_list`."""
+    path = Path(path)
+    g = nx.Graph()
+    declared_nodes: int | None = None
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) == 2 and parts[0] == "nodes":
+                declared_nodes = int(parts[1])
+            elif len(parts) == 2 and parts[0] == "family":
+                g.graph["family"] = parts[1]
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"malformed edge-list line: {raw!r}")
+        g.add_edge(int(parts[0]), int(parts[1]))
+    if declared_nodes is not None:
+        g.add_nodes_from(range(declared_nodes))
+    return g
+
+
+def write_tree(edges: Iterable[Edge], path: str | Path) -> None:
+    """Write a tree edge set, one canonical ``u v`` pair per line."""
+    path = Path(path)
+    lines = [f"{u} {v}" for u, v in sorted(canonical_edge(u, v) for u, v in edges)]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+
+
+def read_tree(path: str | Path) -> set[Edge]:
+    """Read a tree edge set written by :func:`write_tree`."""
+    path = Path(path)
+    edges: set[Edge] = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"malformed tree line: {raw!r}")
+        edges.add(canonical_edge(int(parts[0]), int(parts[1])))
+    return edges
+
+
+def graph_to_dict(graph: nx.Graph) -> Dict:
+    """JSON-serialisable dict representation of a graph."""
+    return {
+        "nodes": sorted(int(v) for v in graph.nodes),
+        "edges": sorted([int(u), int(v)] for u, v in
+                        (canonical_edge(u, v) for u, v in graph.edges)),
+        "family": graph.graph.get("family", "unknown"),
+    }
+
+
+def graph_from_dict(data: Dict) -> nx.Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    g = nx.Graph()
+    g.add_nodes_from(int(v) for v in data.get("nodes", []))
+    g.add_edges_from((int(u), int(v)) for u, v in data.get("edges", []))
+    if "family" in data:
+        g.graph["family"] = data["family"]
+    return g
+
+
+def write_graph_json(graph: nx.Graph, path: str | Path) -> None:
+    """Write a graph as JSON (nodes, edges, family)."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2), encoding="utf-8")
+
+
+def read_graph_json(path: str | Path) -> nx.Graph:
+    """Read a graph written by :func:`write_graph_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,173 @@
+"""Structural graph properties relevant to the MDST problem.
+
+Besides generic statistics (degree distribution, density, diameter), this
+module exposes MDST-specific lower bounds on the optimal tree degree Δ*:
+
+* ``1 + max over cut vertices of (number of components the cut vertex
+  separates - 1)`` is a weak bound; we use the exact *cut-vertex bound*: a
+  vertex whose removal splits the graph into ``c`` components must have tree
+  degree at least ``c``.
+* the *leaf bound*: Δ* >= ceil((n - 1) / (n - leaves_possible)), specialised
+  here to the simple bound Δ* >= 2 whenever n >= 3 and the graph is not a
+  single edge.
+
+These bounds are used by tests and by the exact solver to prune search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import networkx as nx
+
+from ..exceptions import GraphError, NotConnectedError
+
+__all__ = [
+    "GraphSummary",
+    "summarize",
+    "degree_histogram",
+    "max_degree",
+    "min_degree",
+    "density",
+    "cut_vertex_lower_bound",
+    "mdst_lower_bound",
+    "is_hamiltonian_path_certificate",
+]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Compact structural summary of a network instance."""
+
+    nodes: int
+    edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    density: float
+    diameter: int | None
+    family: str | None
+    mdst_lower_bound: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, convenient for tabular reporting."""
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": round(self.mean_degree, 3),
+            "density": round(self.density, 4),
+            "diameter": self.diameter,
+            "family": self.family,
+            "mdst_lower_bound": self.mdst_lower_bound,
+        }
+
+
+def degree_histogram(graph: nx.Graph) -> Dict[int, int]:
+    """Histogram ``degree -> number of nodes with that degree``."""
+    hist: Dict[int, int] = {}
+    for _, d in graph.degree():
+        hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Maximum node degree of the graph (δ in the paper's memory bound)."""
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph is empty")
+    return max(d for _, d in graph.degree())
+
+
+def min_degree(graph: nx.Graph) -> int:
+    """Minimum node degree of the graph."""
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph is empty")
+    return min(d for _, d in graph.degree())
+
+
+def density(graph: nx.Graph) -> float:
+    """Edge density ``2m / (n (n-1))`` (0 for a single node)."""
+    return nx.density(graph)
+
+
+def cut_vertex_lower_bound(graph: nx.Graph) -> int:
+    """Lower bound on Δ* from articulation points.
+
+    If removing vertex ``v`` splits the graph into ``c(v)`` connected
+    components, then any spanning tree must connect those components through
+    ``v``, so ``deg_T(v) >= c(v)`` and therefore ``Δ* >= max_v c(v)``.
+    For graphs without articulation points the bound degenerates to 1
+    (or 2 once the trivial bound below is applied).
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph is empty")
+    if not nx.is_connected(graph):
+        raise NotConnectedError("cut_vertex_lower_bound requires a connected graph")
+    best = 1
+    for v in nx.articulation_points(graph):
+        sub = graph.copy()
+        sub.remove_node(v)
+        c = nx.number_connected_components(sub)
+        best = max(best, c)
+    return best
+
+
+def mdst_lower_bound(graph: nx.Graph) -> int:
+    """Best cheap lower bound on Δ* available without solving the problem.
+
+    Combines the trivial bound (any spanning tree of a graph with at least
+    3 nodes has a node of degree >= 2 -- in fact Δ* >= ceil((n-1) * 2 / n) --
+    with the cut-vertex bound.  The exact solver and the quality experiments
+    (E1) use this to certify optimality without enumerating all trees when
+    the bound is tight.
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise GraphError("graph is empty")
+    if n == 1:
+        return 0
+    if n == 2:
+        return 1
+    trivial = 2  # a tree on >= 3 nodes has an internal node
+    return max(trivial, cut_vertex_lower_bound(graph))
+
+
+def is_hamiltonian_path_certificate(graph: nx.Graph, path: list[int]) -> bool:
+    """Check that ``path`` is a Hamiltonian path of ``graph``.
+
+    Families like :func:`repro.graphs.generators.dense_hamiltonian_graph`
+    store such a certificate, which pins Δ* = 2 without any search.
+    """
+    if len(path) != graph.number_of_nodes():
+        return False
+    if len(set(path)) != len(path):
+        return False
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+def summarize(graph: nx.Graph, compute_diameter: bool = True) -> GraphSummary:
+    """Produce a :class:`GraphSummary` for ``graph``.
+
+    ``compute_diameter`` may be disabled for large instances (the diameter
+    computation is O(n·m) and only used for reporting).
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph is empty")
+    degrees = [d for _, d in graph.degree()]
+    diameter: int | None = None
+    if compute_diameter and nx.is_connected(graph) and graph.number_of_nodes() <= 2000:
+        diameter = nx.diameter(graph)
+    return GraphSummary(
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+        density=density(graph),
+        diameter=diameter,
+        family=graph.graph.get("family"),
+        mdst_lower_bound=mdst_lower_bound(graph) if nx.is_connected(graph) else 0,
+    )

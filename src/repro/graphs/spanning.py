@@ -1,0 +1,296 @@
+"""Spanning-tree utilities: construction, fundamental cycles, edge swaps.
+
+These are *centralised* helpers used by baselines, by the reference engine and
+by the verification layer.  The distributed protocol itself (``repro.core``)
+never calls into this module -- nodes there only use local information -- but
+tests use these functions as ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import GraphError, NotASpanningTreeError, NotConnectedError
+from ..types import Edge, NodeId, canonical_edge, canonical_edges
+
+__all__ = [
+    "bfs_spanning_tree",
+    "dfs_spanning_tree",
+    "random_spanning_tree",
+    "minimum_spanning_tree",
+    "parent_map_from_edges",
+    "edges_from_parent_map",
+    "tree_degrees",
+    "tree_degree",
+    "non_tree_edges",
+    "fundamental_cycle",
+    "fundamental_cycle_edges",
+    "swap_edges",
+    "is_spanning_tree",
+    "tree_path",
+]
+
+
+def _require_connected(graph: nx.Graph) -> None:
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph is empty")
+    if not nx.is_connected(graph):
+        raise NotConnectedError("graph is not connected")
+
+
+# ---------------------------------------------------------------------------
+# Spanning-tree construction
+# ---------------------------------------------------------------------------
+
+def bfs_spanning_tree(graph: nx.Graph, root: NodeId | None = None) -> set[Edge]:
+    """Breadth-first-search spanning tree rooted at ``root`` (default: min id).
+
+    This mirrors the output of the paper's underlying spanning-tree module
+    (a simplified Afek–Kutten–Yung BFS rooted at the minimum identifier).
+    """
+    _require_connected(graph)
+    if root is None:
+        root = min(graph.nodes)
+    if root not in graph:
+        raise GraphError(f"root {root} is not a node of the graph")
+    edges: set[Edge] = set()
+    visited = {root}
+    queue: deque[NodeId] = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in sorted(graph.neighbors(u)):
+            if v not in visited:
+                visited.add(v)
+                edges.add(canonical_edge(u, v))
+                queue.append(v)
+    return edges
+
+
+def dfs_spanning_tree(graph: nx.Graph, root: NodeId | None = None) -> set[Edge]:
+    """Depth-first-search spanning tree rooted at ``root`` (default: min id).
+
+    DFS trees tend to have low degree (they are path-like on dense graphs),
+    making them a strong "cheap" baseline for experiment E6.
+    """
+    _require_connected(graph)
+    if root is None:
+        root = min(graph.nodes)
+    if root not in graph:
+        raise GraphError(f"root {root} is not a node of the graph")
+    edges: set[Edge] = set()
+    visited = {root}
+    stack: List[NodeId] = [root]
+    while stack:
+        u = stack[-1]
+        advanced = False
+        for v in sorted(graph.neighbors(u)):
+            if v not in visited:
+                visited.add(v)
+                edges.add(canonical_edge(u, v))
+                stack.append(v)
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    return edges
+
+
+def random_spanning_tree(graph: nx.Graph, seed: int | None = None) -> set[Edge]:
+    """Uniform-ish random spanning tree via a random-order Kruskal pass.
+
+    Edges are shuffled with a seeded generator and added greedily when they
+    join two different components (union-find).  This is not exactly uniform
+    over spanning trees but is cheap, seeded and adequately "random" for use
+    as an arbitrary initial tree in self-stabilization experiments.
+    """
+    _require_connected(graph)
+    rng = np.random.default_rng(seed)
+    edge_list = [canonical_edge(u, v) for u, v in graph.edges]
+    order = rng.permutation(len(edge_list))
+    parent: Dict[NodeId, NodeId] = {v: v for v in graph.nodes}
+
+    def find(x: NodeId) -> NodeId:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    edges: set[Edge] = set()
+    for idx in order:
+        u, v = edge_list[int(idx)]
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            edges.add((u, v))
+            if len(edges) == graph.number_of_nodes() - 1:
+                break
+    return edges
+
+
+def minimum_spanning_tree(graph: nx.Graph, weight: str = "weight") -> set[Edge]:
+    """Minimum-weight spanning tree (unweighted graphs: an arbitrary tree)."""
+    _require_connected(graph)
+    t = nx.minimum_spanning_tree(graph, weight=weight)
+    return canonical_edges(t.edges)
+
+
+# ---------------------------------------------------------------------------
+# Representation conversions
+# ---------------------------------------------------------------------------
+
+def parent_map_from_edges(nodes: Iterable[NodeId], edges: Iterable[Edge],
+                          root: NodeId | None = None) -> Dict[NodeId, NodeId]:
+    """Orient a spanning-tree edge set towards ``root`` (default: min node).
+
+    Returns a ``node -> parent`` map with the root self-parented.  Raises
+    :class:`NotASpanningTreeError` if the edge set does not span the nodes.
+    """
+    nodes = list(nodes)
+    edge_set = canonical_edges(edges)
+    adj: Dict[NodeId, List[NodeId]] = {v: [] for v in nodes}
+    for u, v in edge_set:
+        if u not in adj or v not in adj:
+            raise NotASpanningTreeError(f"edge ({u},{v}) uses a node outside the node set")
+        adj[u].append(v)
+        adj[v].append(u)
+    if root is None:
+        root = min(nodes)
+    parent: Dict[NodeId, NodeId] = {root: root}
+    queue: deque[NodeId] = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in parent:
+                parent[v] = u
+                queue.append(v)
+    if len(parent) != len(nodes):
+        raise NotASpanningTreeError(
+            f"edge set spans {len(parent)} of {len(nodes)} nodes (not a spanning tree)")
+    if len(edge_set) != len(nodes) - 1:
+        raise NotASpanningTreeError(
+            f"edge set has {len(edge_set)} edges, expected {len(nodes) - 1}")
+    return parent
+
+
+def edges_from_parent_map(parent: Dict[NodeId, NodeId]) -> set[Edge]:
+    """Convert a ``node -> parent`` map into a canonical edge set."""
+    return {canonical_edge(v, p) for v, p in parent.items() if p != v}
+
+
+# ---------------------------------------------------------------------------
+# Degrees, non-tree edges, fundamental cycles
+# ---------------------------------------------------------------------------
+
+def tree_degrees(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> Dict[NodeId, int]:
+    """Per-node degree in the tree given by ``edges`` (``deg_T(v)``)."""
+    degrees = {v: 0 for v in nodes}
+    for u, v in edges:
+        degrees[u] += 1
+        degrees[v] += 1
+    return degrees
+
+
+def tree_degree(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> int:
+    """Maximum node degree of the tree (``deg(T)``); 0 for a single node."""
+    degrees = tree_degrees(nodes, edges)
+    return max(degrees.values()) if degrees else 0
+
+
+def non_tree_edges(graph: nx.Graph, tree_edges: Iterable[Edge]) -> set[Edge]:
+    """Edges of the graph that are not in the tree (each defines one
+    fundamental cycle)."""
+    tset = canonical_edges(tree_edges)
+    return {canonical_edge(u, v) for u, v in graph.edges} - tset
+
+
+def tree_path(tree_edges: Iterable[Edge], source: NodeId, target: NodeId) -> List[NodeId]:
+    """Unique path from ``source`` to ``target`` inside the tree.
+
+    Raises :class:`NotASpanningTreeError` if no path exists (the edge set is
+    not a tree containing both endpoints).
+    """
+    adj: Dict[NodeId, List[NodeId]] = {}
+    for u, v in canonical_edges(tree_edges):
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    if source == target:
+        return [source]
+    if source not in adj or target not in adj:
+        raise NotASpanningTreeError(
+            f"nodes {source} and/or {target} do not appear in the tree edge set")
+    prev: Dict[NodeId, NodeId] = {source: source}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        u = queue.popleft()
+        if u == target:
+            break
+        for v in adj[u]:
+            if v not in prev:
+                prev[v] = u
+                queue.append(v)
+    if target not in prev:
+        raise NotASpanningTreeError(f"no tree path between {source} and {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path
+
+
+def fundamental_cycle(tree_edges: Iterable[Edge], non_tree_edge: Edge) -> List[NodeId]:
+    """Node sequence of the fundamental cycle of ``non_tree_edge``.
+
+    The returned list starts at one endpoint of the non-tree edge and ends at
+    the other; closing the cycle with the non-tree edge itself is implicit.
+    This matches the ``path`` carried by the paper's ``Search`` messages.
+    """
+    u, v = non_tree_edge
+    return tree_path(tree_edges, u, v)
+
+
+def fundamental_cycle_edges(tree_edges: Iterable[Edge], non_tree_edge: Edge) -> List[Edge]:
+    """Tree edges of the fundamental cycle of ``non_tree_edge`` (in path order)."""
+    path = fundamental_cycle(tree_edges, non_tree_edge)
+    return [canonical_edge(a, b) for a, b in zip(path, path[1:])]
+
+
+def swap_edges(tree_edges: Iterable[Edge], add: Edge, remove: Edge) -> set[Edge]:
+    """Return a new edge set with ``add`` inserted and ``remove`` deleted.
+
+    The caller is responsible for choosing ``remove`` on the fundamental cycle
+    of ``add``; under that condition the result is again a spanning tree.
+    """
+    edges = set(canonical_edges(tree_edges))
+    add = canonical_edge(*add)
+    remove = canonical_edge(*remove)
+    if remove not in edges:
+        raise NotASpanningTreeError(f"edge {remove} is not a tree edge")
+    if add in edges:
+        raise NotASpanningTreeError(f"edge {add} is already a tree edge")
+    edges.remove(remove)
+    edges.add(add)
+    return edges
+
+
+def is_spanning_tree(graph: nx.Graph, edges: Iterable[Edge]) -> bool:
+    """``True`` iff ``edges`` forms a spanning tree of ``graph``.
+
+    Checks edge membership in the graph, edge count ``n - 1``, and
+    connectivity of the induced subgraph.
+    """
+    nodes = list(graph.nodes)
+    edge_set = canonical_edges(edges)
+    if len(edge_set) != len(nodes) - 1:
+        return False
+    graph_edges = {canonical_edge(u, v) for u, v in graph.edges}
+    if not edge_set <= graph_edges:
+        return False
+    try:
+        parent_map_from_edges(nodes, edge_set)
+    except NotASpanningTreeError:
+        return False
+    return True

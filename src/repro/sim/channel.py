@@ -1,0 +1,108 @@
+"""Reliable FIFO communication channels.
+
+The paper assumes "asynchronous message passing network with reliable FIFO
+channels": on each (directed) link messages are delivered in the order they
+were sent, no message is lost and no message is duplicated.  A
+:class:`Channel` models one directed link ``src -> dst``; the
+:class:`repro.sim.network.Network` creates two channels per undirected edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Tuple
+
+from ..exceptions import ChannelError
+from ..types import NodeId
+from .messages import Message
+
+__all__ = ["Channel", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative statistics for one directed channel."""
+
+    sent: int = 0
+    delivered: int = 0
+    max_queue_length: int = 0
+    max_message_bits: int = 0
+
+
+class Channel:
+    """A reliable FIFO channel from ``src`` to ``dst``.
+
+    The channel never drops or reorders messages.  Fault injection may
+    *pre-load* arbitrary messages (modelling an arbitrary initial
+    configuration, which in the message-passing model includes link
+    contents), but once the simulation runs the FIFO discipline holds.
+    """
+
+    __slots__ = ("src", "dst", "_queue", "stats", "_network_size")
+
+    def __init__(self, src: NodeId, dst: NodeId, network_size: int = 2):
+        if src == dst:
+            raise ChannelError(f"channel endpoints must differ, got {src}->{dst}")
+        self.src = src
+        self.dst = dst
+        self._queue: Deque[Message] = deque()
+        self.stats = ChannelStats()
+        self._network_size = network_size
+
+    # -- sending / delivering ------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Append ``message`` to the tail of the channel (called by ``src``)."""
+        if not isinstance(message, Message):
+            raise ChannelError(
+                f"only Message instances may be sent, got {type(message).__name__}")
+        self._queue.append(message)
+        self.stats.sent += 1
+        self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+        bits = message.size_bits(self._network_size)
+        self.stats.max_message_bits = max(self.stats.max_message_bits, bits)
+
+    def deliver(self) -> Message:
+        """Pop and return the message at the head of the channel."""
+        if not self._queue:
+            raise ChannelError(f"channel {self.src}->{self.dst} is empty")
+        self.stats.delivered += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Message | None:
+        """Return the head message without removing it (``None`` if empty)."""
+        return self._queue[0] if self._queue else None
+
+    # -- fault injection -----------------------------------------------------
+
+    def preload(self, messages: List[Message]) -> None:
+        """Place arbitrary messages on the channel (arbitrary initial config)."""
+        for m in messages:
+            if not isinstance(m, Message):
+                raise ChannelError("preloaded items must be Message instances")
+            self._queue.append(m)
+        self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+
+    def clear(self) -> None:
+        """Drop all queued messages (used only by test harnesses)."""
+        self._queue.clear()
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:  # non-empty check used by schedulers
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._queue)
+
+    @property
+    def endpoints(self) -> Tuple[NodeId, NodeId]:
+        """The ``(src, dst)`` pair of this directed channel."""
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Channel({self.src}->{self.dst}, queued={len(self._queue)})"

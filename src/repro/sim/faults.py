@@ -1,0 +1,145 @@
+"""Transient-fault injection.
+
+Self-stabilization (Definition 1 in the paper) requires convergence from an
+*arbitrary* configuration: arbitrary local states and arbitrary channel
+contents.  This module realises that premise explicitly:
+
+* :func:`corrupt_states` overwrites (a fraction of) node states with random
+  values via each process's :meth:`~repro.sim.node.Process.corrupt` hook;
+* :func:`corrupt_channels` pre-loads garbage messages onto (a fraction of)
+  the FIFO channels;
+* :func:`FaultPlan` describes a schedule of mid-run transient faults so the
+  recovery experiments (E5) can hit an already-converged system and measure
+  re-stabilization time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import NodeId
+from .messages import GarbageMessage
+from .network import Network
+
+__all__ = ["corrupt_states", "corrupt_channels", "corrupt_everything",
+           "FaultEvent", "FaultPlan"]
+
+
+def corrupt_states(network: Network, rng: np.random.Generator,
+                   fraction: float = 1.0,
+                   nodes: Optional[Sequence[NodeId]] = None) -> List[NodeId]:
+    """Corrupt the local state of a set of nodes.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of nodes to corrupt when ``nodes`` is not given; 1.0 means
+        every node starts from garbage (the paper's worst case).
+    nodes:
+        Explicit node set to corrupt (overrides ``fraction``).
+
+    Returns the list of corrupted node ids.
+    """
+    if nodes is None:
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError("fraction must be in [0, 1]")
+        count = int(round(fraction * len(network.node_ids)))
+        chosen = list(rng.choice(network.node_ids, size=count, replace=False)) if count else []
+        chosen = [int(v) for v in chosen]
+    else:
+        chosen = [int(v) for v in nodes]
+        unknown = set(chosen) - set(network.node_ids)
+        if unknown:
+            raise ConfigurationError(f"cannot corrupt unknown nodes {sorted(unknown)}")
+    for v in chosen:
+        network.processes[v].corrupt(rng)
+    return chosen
+
+
+def corrupt_channels(network: Network, rng: np.random.Generator,
+                     fraction: float = 0.5, max_garbage: int = 3) -> int:
+    """Pre-load garbage messages on a fraction of the directed channels.
+
+    Returns the number of garbage messages injected.  Garbage messages are
+    instances of :class:`GarbageMessage`, which well-behaved protocols ignore
+    (and thereby remove from the channel) on receipt.
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise ConfigurationError("fraction must be in [0, 1]")
+    injected = 0
+    for channel in network.channels.values():
+        if rng.random() >= fraction:
+            continue
+        count = int(rng.integers(1, max_garbage + 1))
+        payload = [GarbageMessage(payload=tuple(int(x) for x in rng.integers(0, 1000, size=3)))
+                   for _ in range(count)]
+        channel.preload(payload)
+        injected += count
+    return injected
+
+
+def corrupt_everything(network: Network, rng: np.random.Generator,
+                       channel_fraction: float = 0.5) -> dict:
+    """Corrupt every node state and a fraction of the channels.
+
+    This is the canonical "arbitrary initial configuration" used by the
+    self-stabilization experiments.  Returns a small report dict.
+    """
+    corrupted = corrupt_states(network, rng, fraction=1.0)
+    garbage = corrupt_channels(network, rng, fraction=channel_fraction)
+    return {"corrupted_nodes": len(corrupted), "garbage_messages": garbage}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A transient fault scheduled at a given round.
+
+    Attributes
+    ----------
+    round_index:
+        Round after which the fault strikes.
+    node_fraction:
+        Fraction of nodes whose state is corrupted.
+    channel_fraction:
+        Fraction of channels that receive garbage messages.
+    """
+
+    round_index: int
+    node_fraction: float = 1.0
+    channel_fraction: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of transient faults applied during a simulation run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, round_index: int, node_fraction: float = 1.0,
+            channel_fraction: float = 0.0) -> "FaultPlan":
+        """Append a fault event (fluent interface)."""
+        self.events.append(FaultEvent(round_index, node_fraction, channel_fraction))
+        return self
+
+    def pending_at(self, round_index: int) -> List[FaultEvent]:
+        """Fault events that should fire exactly after ``round_index``."""
+        return [e for e in self.events if e.round_index == round_index]
+
+    def apply_due(self, network: Network, rng: np.random.Generator,
+                  round_index: int) -> List[FaultEvent]:
+        """Apply all events due at ``round_index``; return the fired events."""
+        fired = self.pending_at(round_index)
+        for event in fired:
+            corrupt_states(network, rng, fraction=event.node_fraction)
+            if event.channel_fraction > 0:
+                corrupt_channels(network, rng, fraction=event.channel_fraction)
+        return fired
+
+    @property
+    def last_round(self) -> int:
+        """Round index of the last scheduled fault (-1 when empty)."""
+        return max((e.round_index for e in self.events), default=-1)

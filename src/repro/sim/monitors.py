@@ -1,0 +1,125 @@
+"""Convergence and invariant monitors evaluated between rounds.
+
+* :class:`ConvergenceMonitor` wraps a *legitimacy predicate* (a callable on
+  the network returning ``True``/``False``) and declares convergence once the
+  predicate has held for ``stability_window`` consecutive rounds.  The window
+  matters because a self-stabilizing protocol keeps gossiping forever: a
+  configuration may look legitimate for one round and then be destroyed by an
+  in-flight message, so single-round legitimacy is not convergence.
+
+* :class:`ClosureMonitor` additionally verifies the *closure* property of
+  Definition 1: once convergence has been declared, the predicate must keep
+  holding; any later violation is recorded (and optionally raised).
+
+* :class:`InvariantMonitor` checks safety invariants every round (e.g. "the
+  set of tree edges never disconnects the already-agreed tree") and raises on
+  the first violation, giving tests an early, localised failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..exceptions import SimulationError
+from .network import Network
+
+__all__ = ["ConvergenceMonitor", "ClosureMonitor", "InvariantMonitor"]
+
+Predicate = Callable[[Network], bool]
+
+
+class ConvergenceMonitor:
+    """Declares convergence after a predicate holds for a window of rounds."""
+
+    def __init__(self, predicate: Predicate, stability_window: int = 3):
+        if stability_window < 1:
+            raise ValueError("stability_window must be >= 1")
+        self.predicate = predicate
+        self.stability_window = stability_window
+        self.consecutive_holds = 0
+        self.first_hold_round: Optional[int] = None
+        self.converged_round: Optional[int] = None
+
+    @property
+    def converged(self) -> bool:
+        """Whether convergence has been declared."""
+        return self.converged_round is not None
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        """Evaluate the predicate after ``round_index``; return convergence state."""
+        if self.predicate(network):
+            self.consecutive_holds += 1
+            if self.first_hold_round is None:
+                self.first_hold_round = round_index
+            if (self.consecutive_holds >= self.stability_window
+                    and self.converged_round is None):
+                self.converged_round = round_index
+        else:
+            self.consecutive_holds = 0
+            self.first_hold_round = None
+        return self.converged
+
+
+class ClosureMonitor:
+    """Tracks violations of the closure property after convergence."""
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+        self.active = False
+        self.violations: List[int] = []
+
+    def arm(self) -> None:
+        """Start checking closure (call once convergence has been declared)."""
+        self.active = True
+
+    def observe(self, network: Network, round_index: int) -> None:
+        if self.active and not self.predicate(network):
+            self.violations.append(round_index)
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class InvariantViolation:
+    round_index: int
+    name: str
+    detail: str
+
+
+class InvariantMonitor:
+    """Checks named safety invariants every round.
+
+    Parameters
+    ----------
+    invariants:
+        Mapping-like list of ``(name, callable)`` pairs; each callable takes
+        the network and returns ``True`` (ok) or ``False``/a string detail.
+    raise_on_violation:
+        If ``True`` (default) raise :class:`SimulationError` at the first
+        violation; otherwise record it and continue.
+    """
+
+    def __init__(self, invariants: List[tuple[str, Callable[[Network], bool | str]]],
+                 raise_on_violation: bool = True):
+        self.invariants = list(invariants)
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[InvariantViolation] = []
+
+    def observe(self, network: Network, round_index: int) -> None:
+        for name, check in self.invariants:
+            result = check(network)
+            ok = result is True
+            if not ok:
+                detail = result if isinstance(result, str) else "invariant returned False"
+                violation = InvariantViolation(round_index, name, detail)
+                self.violations.append(violation)
+                if self.raise_on_violation:
+                    raise SimulationError(
+                        f"invariant {name!r} violated at round {round_index}: {detail}")
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)

@@ -1,0 +1,150 @@
+"""Network: the collection of processes and the FIFO channels linking them.
+
+A :class:`Network` is built from a :class:`networkx.Graph` and a *process
+factory* (a callable ``(node_id, neighbors) -> Process``).  It owns
+
+* one :class:`~repro.sim.node.Process` per graph node,
+* two directed :class:`~repro.sim.channel.Channel` objects per graph edge,
+
+and offers the queries the scheduler and the verification layer need
+(pending channels, global quiescence, state snapshots, memory statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..exceptions import ChannelError, ProtocolError, SimulationError
+from ..graphs.validation import check_network
+from ..types import Edge, NodeId, canonical_edge
+from .channel import Channel
+from .messages import Message
+from .node import Process
+
+__all__ = ["Network", "ProcessFactory"]
+
+ProcessFactory = Callable[[NodeId, Sequence[NodeId]], Process]
+
+
+class Network:
+    """The simulated distributed system: processes plus FIFO channels.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology (undirected, connected, simple).
+    process_factory:
+        Callable building the protocol instance for each node.
+    """
+
+    def __init__(self, graph: nx.Graph, process_factory: ProcessFactory):
+        check_network(graph)
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.m = graph.number_of_edges()
+        self.node_ids: List[NodeId] = sorted(graph.nodes)
+        self.adjacency: Dict[NodeId, Tuple[NodeId, ...]] = {
+            v: tuple(sorted(graph.neighbors(v))) for v in self.node_ids
+        }
+        self.processes: Dict[NodeId, Process] = {}
+        for v in self.node_ids:
+            proc = process_factory(v, self.adjacency[v])
+            if proc.node_id != v:
+                raise ProtocolError(
+                    f"process factory returned node id {proc.node_id} for node {v}")
+            self.processes[v] = proc
+        # Two directed channels per undirected edge.
+        self.channels: Dict[Tuple[NodeId, NodeId], Channel] = {}
+        for u, v in graph.edges:
+            self.channels[(u, v)] = Channel(u, v, network_size=self.n)
+            self.channels[(v, u)] = Channel(v, u, network_size=self.n)
+
+    # -- topology queries ------------------------------------------------------
+
+    def neighbors(self, v: NodeId) -> Tuple[NodeId, ...]:
+        """Neighbour ids of ``v`` (sorted)."""
+        return self.adjacency[v]
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether ``{u, v}`` is a communication link."""
+        return (u, v) in self.channels
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over the undirected edges (canonical orientation)."""
+        for u, v in self.graph.edges:
+            yield canonical_edge(u, v)
+
+    def channel(self, src: NodeId, dst: NodeId) -> Channel:
+        """The directed channel ``src -> dst``."""
+        try:
+            return self.channels[(src, dst)]
+        except KeyError as exc:
+            raise ChannelError(f"no channel {src}->{dst}") from exc
+
+    # -- message plumbing ------------------------------------------------------
+
+    def flush_outbox(self, v: NodeId) -> int:
+        """Move every message queued in ``v``'s outbox onto its channels.
+
+        Returns the number of messages pushed.  Called by the simulator after
+        every atomic step of ``v`` so that emission order is preserved.
+        """
+        count = 0
+        for dest, message in self.processes[v].outbox.drain():
+            self.channel(v, dest).send(message)
+            count += 1
+        return count
+
+    def pending_channels(self) -> List[Channel]:
+        """All channels currently holding at least one message."""
+        return [c for c in self.channels.values() if c]
+
+    def pending_messages(self) -> int:
+        """Total number of messages currently in transit."""
+        return sum(len(c) for c in self.channels.values())
+
+    def is_quiescent(self) -> bool:
+        """``True`` when no message is in transit and no outbox is non-empty."""
+        if any(len(p.outbox) for p in self.processes.values()):
+            return False
+        return self.pending_messages() == 0
+
+    # -- global inspection -----------------------------------------------------
+
+    def snapshots(self) -> Dict[NodeId, Dict[str, object]]:
+        """Per-node protocol variable snapshots (for checks and traces)."""
+        return {v: self.processes[v].snapshot() for v in self.node_ids}
+
+    def max_state_bits(self) -> int:
+        """Maximum per-node persistent state size in bits (memory claim E3)."""
+        return max(p.state_bits(self.n) for p in self.processes.values())
+
+    def total_state_bits(self) -> int:
+        """Total persistent state over all nodes in bits."""
+        return sum(p.state_bits(self.n) for p in self.processes.values())
+
+    def max_channel_message_bits(self) -> int:
+        """Largest message (in bits) ever placed on any channel."""
+        if not self.channels:
+            return 0
+        return max(c.stats.max_message_bits for c in self.channels.values())
+
+    def total_messages_sent(self) -> int:
+        """Total number of messages pushed onto channels since construction."""
+        return sum(c.stats.sent for c in self.channels.values())
+
+    def degree(self, v: NodeId) -> int:
+        """Graph degree of ``v`` (``|N(v)|``)."""
+        return len(self.adjacency[v])
+
+    def max_graph_degree(self) -> int:
+        """Maximum graph degree δ (used in the O(δ log n) memory bound)."""
+        return max(len(nbrs) for nbrs in self.adjacency.values())
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Network(n={self.n}, m={self.m}, pending={self.pending_messages()})"

@@ -1,0 +1,234 @@
+"""Schedulers (daemons) driving the asynchronous execution.
+
+A *scheduler* decides, within each round, in which order nodes take their
+atomic steps and when in-flight messages get delivered.  Self-stabilization
+results must hold under any (weakly fair) scheduler, so the library provides
+several of them and the test-suite runs the protocol under all:
+
+``SynchronousScheduler``
+    Every round, every node first consumes the messages that were in its
+    incoming channels at the start of the round (in a fixed node order), then
+    performs its timeout action.  Deterministic; the fastest executions.
+
+``RandomAsyncScheduler``
+    Every round the set of enabled events (one timeout per node plus one
+    delivery per in-flight message) is executed in a random order drawn from
+    a seeded generator.  Models arbitrary asynchronous interleavings while
+    remaining weakly fair (every node acts at least once per round).
+
+``AdversarialScheduler``
+    Like the synchronous scheduler, but a chosen set of "slow" links only
+    delivers a message every ``max_delay`` rounds.  Models worst-case-ish
+    link latencies while preserving reliability/FIFO.
+
+Round accounting follows the standard self-stabilization definition: one
+round is an execution fragment in which every node performs at least one
+atomic step (here: its timeout action) and has had the opportunity to receive
+the messages addressed to it at the beginning of the round.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SchedulerError
+from ..types import NodeId
+from .network import Network
+from .trace import TraceRecorder
+
+__all__ = [
+    "RoundStats",
+    "Scheduler",
+    "SynchronousScheduler",
+    "RandomAsyncScheduler",
+    "AdversarialScheduler",
+    "make_scheduler",
+]
+
+
+@dataclass
+class RoundStats:
+    """Counters for a single simulated round."""
+
+    steps: int = 0
+    deliveries: int = 0
+    timeouts: int = 0
+    messages_sent: int = 0
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduler interface."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
+        """Execute one round on ``network`` and return its statistics."""
+
+    # -- shared helpers --------------------------------------------------------
+
+    @staticmethod
+    def _deliver_one(network: Network, src: NodeId, dst: NodeId,
+                     trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        """Deliver the head message of channel ``src -> dst`` as one atomic step."""
+        channel = network.channel(src, dst)
+        message = channel.deliver()
+        process = network.processes[dst]
+        process.on_message(src, message)
+        process.steps_taken += 1
+        sent = network.flush_outbox(dst)
+        stats.steps += 1
+        stats.deliveries += 1
+        stats.messages_sent += sent
+        if trace is not None:
+            trace.record_delivery(src, dst, message, sent)
+
+    @staticmethod
+    def _timeout_one(network: Network, v: NodeId,
+                     trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        """Run the timeout action of ``v`` as one atomic step."""
+        process = network.processes[v]
+        process.on_timeout()
+        process.steps_taken += 1
+        sent = network.flush_outbox(v)
+        stats.steps += 1
+        stats.timeouts += 1
+        stats.messages_sent += sent
+        if trace is not None:
+            trace.record_timeout(v, sent)
+
+
+class SynchronousScheduler(Scheduler):
+    """Deterministic round-based scheduler.
+
+    Within a round, nodes are processed in increasing id order.  Each node
+    first receives every message that was queued on its incoming channels at
+    the beginning of the round, then executes its timeout action (gossip).
+    Messages emitted during the round are delivered in a later round.
+    """
+
+    name = "synchronous"
+
+    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
+        stats = RoundStats()
+        # Snapshot how many messages each channel holds at round start so that
+        # messages produced during this round wait until the next one.
+        snapshot: Dict[Tuple[NodeId, NodeId], int] = {
+            key: len(chan) for key, chan in network.channels.items() if chan
+        }
+        for dst in network.node_ids:
+            for src in network.neighbors(dst):
+                count = snapshot.get((src, dst), 0)
+                for _ in range(count):
+                    if not network.channel(src, dst):
+                        break
+                    self._deliver_one(network, src, dst, trace, stats)
+        for v in network.node_ids:
+            self._timeout_one(network, v, trace, stats)
+        return stats
+
+
+class RandomAsyncScheduler(Scheduler):
+    """Weakly fair random scheduler.
+
+    The enabled events of a round (timeouts + deliveries of the messages in
+    flight at round start) are executed in a uniformly random order.  The
+    result models arbitrary asynchrony: a node may receive a neighbour's
+    message before or after that neighbour's gossip for the round, different
+    branches of the tree progress at different speeds, etc.
+    """
+
+    name = "random_async"
+
+    def __init__(self, seed: int | None = None):
+        self.rng = np.random.default_rng(seed)
+
+    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
+        stats = RoundStats()
+        events: List[Tuple[str, Tuple[NodeId, ...]]] = []
+        for v in network.node_ids:
+            events.append(("timeout", (v,)))
+        for (src, dst), chan in network.channels.items():
+            for _ in range(len(chan)):
+                events.append(("deliver", (src, dst)))
+        order = self.rng.permutation(len(events))
+        for idx in order:
+            kind, args = events[int(idx)]
+            if kind == "timeout":
+                self._timeout_one(network, args[0], trace, stats)
+            else:
+                src, dst = args
+                if network.channel(src, dst):
+                    self._deliver_one(network, src, dst, trace, stats)
+        return stats
+
+
+class AdversarialScheduler(Scheduler):
+    """Scheduler with adversarially slow links.
+
+    ``slow_links`` is a collection of directed ``(src, dst)`` pairs whose
+    deliveries are withheld for up to ``max_delay`` rounds and then released
+    as a burst (the whole backlog at once).  This models a bounded-delay
+    adversary: messages are arbitrarily reordered *across* links and delayed,
+    but every message is delivered within ``max_delay`` rounds of being sent,
+    so the fairness assumption of the paper's model is preserved.  All other
+    links behave synchronously.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, slow_links: Sequence[Tuple[NodeId, NodeId]] = (),
+                 max_delay: int = 4, seed: int | None = None):
+        if max_delay < 1:
+            raise SchedulerError("max_delay must be >= 1")
+        self.slow_links = {tuple(link) for link in slow_links}
+        self.max_delay = max_delay
+        self.rng = np.random.default_rng(seed)
+        self._age: Dict[Tuple[NodeId, NodeId], int] = {}
+
+    def _is_slow(self, link: Tuple[NodeId, NodeId]) -> bool:
+        return link in self.slow_links
+
+    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
+        stats = RoundStats()
+        snapshot: Dict[Tuple[NodeId, NodeId], int] = {
+            key: len(chan) for key, chan in network.channels.items() if chan
+        }
+        for dst in network.node_ids:
+            for src in network.neighbors(dst):
+                link = (src, dst)
+                count = snapshot.get(link, 0)
+                if count == 0:
+                    continue
+                if self._is_slow(link):
+                    age = self._age.get(link, 0) + 1
+                    if age < self.max_delay:
+                        self._age[link] = age
+                        continue
+                    # release the whole backlog after max_delay rounds of delay
+                    self._age[link] = 0
+                    count = len(network.channel(src, dst))
+                for _ in range(count):
+                    if not network.channel(src, dst):
+                        break
+                    self._deliver_one(network, src, dst, trace, stats)
+        for v in network.node_ids:
+            self._timeout_one(network, v, trace, stats)
+        return stats
+
+
+def make_scheduler(kind: str, seed: int | None = None,
+                   slow_links: Sequence[Tuple[NodeId, NodeId]] = (),
+                   max_delay: int = 4) -> Scheduler:
+    """Factory for schedulers by name (``synchronous``/``random``/``adversarial``)."""
+    if kind in ("synchronous", "sync"):
+        return SynchronousScheduler()
+    if kind in ("random", "random_async", "async"):
+        return RandomAsyncScheduler(seed=seed)
+    if kind in ("adversarial", "slow"):
+        return AdversarialScheduler(slow_links=slow_links, max_delay=max_delay, seed=seed)
+    raise SchedulerError(f"unknown scheduler kind {kind!r}")

@@ -1,0 +1,210 @@
+"""The simulation engine: drives a network under a scheduler until convergence.
+
+The :class:`Simulator` ties together the pieces defined in this subpackage:
+
+* a :class:`~repro.sim.network.Network` (processes + FIFO channels),
+* a :class:`~repro.sim.scheduler.Scheduler` (asynchrony model),
+* a legitimacy predicate evaluated through a
+  :class:`~repro.sim.monitors.ConvergenceMonitor`,
+* optional :class:`~repro.sim.monitors.InvariantMonitor` safety checks,
+* an optional :class:`~repro.sim.faults.FaultPlan` for mid-run transient
+  faults,
+* an optional :class:`~repro.sim.trace.TraceRecorder`.
+
+``Simulator.run`` executes rounds until the convergence monitor fires (plus,
+optionally, a number of extra rounds to witness closure) or the round budget
+is exhausted, and returns a :class:`SimulationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from .faults import FaultPlan
+from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor
+from .network import Network
+from .scheduler import RoundStats, Scheduler, SynchronousScheduler
+from .trace import TraceRecorder
+
+__all__ = ["Simulator", "SimulationReport"]
+
+Predicate = Callable[[Network], bool]
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of a :meth:`Simulator.run` call."""
+
+    converged: bool
+    rounds: int
+    convergence_round: Optional[int]
+    steps: int
+    deliveries: int
+    messages_sent: int
+    max_message_bits: int
+    max_state_bits: int
+    closure_violations: List[int] = field(default_factory=list)
+    fault_rounds: List[int] = field(default_factory=list)
+    round_stats: List[RoundStats] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for tabular reporting."""
+        return {
+            "converged": self.converged,
+            "rounds": self.rounds,
+            "convergence_round": self.convergence_round,
+            "steps": self.steps,
+            "deliveries": self.deliveries,
+            "messages_sent": self.messages_sent,
+            "max_message_bits": self.max_message_bits,
+            "max_state_bits": self.max_state_bits,
+            "closure_violations": len(self.closure_violations),
+        }
+
+
+class Simulator:
+    """Round-driven simulation of a distributed protocol.
+
+    Parameters
+    ----------
+    network:
+        The network to simulate.
+    scheduler:
+        Asynchrony model; defaults to the deterministic synchronous scheduler.
+    legitimacy:
+        Predicate on the network defining the legitimate configurations.
+        When omitted the simulator runs for exactly ``max_rounds`` rounds.
+    stability_window:
+        Number of consecutive legitimate rounds required before convergence
+        is declared (legitimate configurations must also be *stable* because
+        in-flight messages may still destroy them).
+    invariants:
+        Optional ``(name, check)`` pairs verified after every round.
+    fault_plan:
+        Optional schedule of mid-run transient faults.
+    trace:
+        Optional trace recorder.
+    rng:
+        Generator used by the fault plan.
+    """
+
+    def __init__(self,
+                 network: Network,
+                 scheduler: Optional[Scheduler] = None,
+                 legitimacy: Optional[Predicate] = None,
+                 stability_window: int = 3,
+                 invariants: Optional[List[tuple[str, Callable[[Network], bool | str]]]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 trace: Optional[TraceRecorder] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.network = network
+        self.scheduler = scheduler or SynchronousScheduler()
+        self.legitimacy = legitimacy
+        self.monitor = (ConvergenceMonitor(legitimacy, stability_window)
+                        if legitimacy is not None else None)
+        self.closure = ClosureMonitor(legitimacy) if legitimacy is not None else None
+        self.invariant_monitor = (InvariantMonitor(invariants)
+                                  if invariants else None)
+        self.fault_plan = fault_plan
+        self.trace = trace
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rounds_executed = 0
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        if self._started:
+            return
+        for v in self.network.node_ids:
+            self.network.processes[v].on_start()
+            self.network.flush_outbox(v)
+        self._started = True
+
+    def step_round(self) -> RoundStats:
+        """Execute exactly one round and run the monitors."""
+        self._start_processes()
+        if self.trace is not None:
+            self.trace.start_round(self.rounds_executed)
+        stats = self.scheduler.run_round(self.network, self.trace)
+        self.rounds_executed += 1
+        round_index = self.rounds_executed
+        if self.fault_plan is not None:
+            self.fault_plan.apply_due(self.network, self.rng, round_index)
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.observe(self.network, round_index)
+        if self.monitor is not None:
+            was_converged = self.monitor.converged
+            self.monitor.observe(self.network, round_index)
+            if self.monitor.converged and not was_converged and self.closure is not None:
+                self.closure.arm()
+            if self.closure is not None:
+                self.closure.observe(self.network, round_index)
+        return stats
+
+    def run(self, max_rounds: int = 10_000, extra_rounds_after_convergence: int = 0,
+            raise_on_budget: bool = False) -> SimulationReport:
+        """Run rounds until convergence (plus optional closure rounds) or budget.
+
+        Parameters
+        ----------
+        max_rounds:
+            Hard budget on the number of rounds.
+        extra_rounds_after_convergence:
+            Keep simulating this many extra rounds after convergence to
+            witness the closure property.
+        raise_on_budget:
+            When ``True`` raise :class:`ConvergenceError` if the budget is
+            exhausted before convergence (only meaningful with a legitimacy
+            predicate); otherwise return a report with ``converged=False``.
+        """
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        all_stats: List[RoundStats] = []
+        extra_left = extra_rounds_after_convergence
+        converged_at: Optional[int] = None
+        while self.rounds_executed < max_rounds:
+            stats = self.step_round()
+            all_stats.append(stats)
+            if self.monitor is None:
+                continue
+            if self.monitor.converged:
+                if converged_at is None:
+                    converged_at = self.monitor.converged_round
+                # Keep simulating while a fault is still scheduled in the future.
+                future_faults = (self.fault_plan is not None
+                                 and self.fault_plan.last_round >= self.rounds_executed)
+                if future_faults:
+                    converged_at = None
+                    self.monitor.converged_round = None
+                    self.monitor.consecutive_holds = 0
+                    continue
+                if extra_left > 0:
+                    extra_left -= 1
+                    continue
+                break
+        converged = self.monitor.converged if self.monitor is not None else True
+        if not converged and raise_on_budget:
+            raise ConvergenceError(
+                f"protocol did not converge within {max_rounds} rounds",
+                rounds=self.rounds_executed)
+        first_legit = (self.monitor.first_hold_round
+                       if self.monitor is not None and self.monitor.converged else None)
+        return SimulationReport(
+            converged=converged,
+            rounds=self.rounds_executed,
+            convergence_round=first_legit,
+            steps=sum(s.steps for s in all_stats),
+            deliveries=sum(s.deliveries for s in all_stats),
+            messages_sent=sum(s.messages_sent for s in all_stats),
+            max_message_bits=self.network.max_channel_message_bits(),
+            max_state_bits=self.network.max_state_bits(),
+            closure_violations=list(self.closure.violations) if self.closure else [],
+            fault_rounds=sorted({e.round_index for e in self.fault_plan.events})
+            if self.fault_plan else [],
+            round_stats=all_stats,
+        )

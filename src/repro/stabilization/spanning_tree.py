@@ -1,0 +1,282 @@
+"""Self-stabilizing spanning-tree module (§3.2.1 of the paper).
+
+Each node maintains three variables -- the identifier of the root it
+currently believes in (``root``), a parent pointer (``parent``) and its
+distance to that root (``distance``) -- and gossips them to its neighbours
+via periodic ``STInfo`` messages (the ``InfoMsg`` of the paper, restricted to
+the spanning-tree fields).  Two correction rules drive stabilization:
+
+``R1 (correction parent)``
+    If a neighbour advertises a smaller root, adopt it (and that neighbour
+    becomes the parent).  Ties are broken towards the smallest neighbour id,
+    matching the paper's ``argmin`` choice.
+
+``R2 (correction root)``
+    If the local state is incoherent -- the parent is not a neighbour, the
+    parent no longer advertises the same root, the node claims to be a root
+    without using its own identifier, or the distance has grown past the
+    bound ``n_upper`` -- the node resets and becomes its own root.
+
+``R3 (distance repair)``
+    If the state is otherwise coherent but the distance does not equal the
+    parent's advertised distance plus one, only the distance is repaired.
+
+The paper folds R3 into R2 (any incoherence triggers a full reset).  We keep
+the gentler distance-repair rule, plus an explicit distance bound ``n_upper``
+(an upper bound on the network size known to every node), because the
+min-root rule alone cannot evict a *fake* root identifier that no live node
+owns: such an identifier can otherwise chase its own tail around a cycle
+forever (the classical count-to-infinity behaviour).  With the bound, the
+distance of any region believing in a fake root grows by at least one per
+traversal and exceeds ``n_upper`` after O(n) rounds, forcing a reset.  This
+is the standard Dolev–Israeli–Moran-style refinement and is documented as an
+engineering substitution in DESIGN.md.
+
+The resulting tree is a BFS-like spanning tree rooted at the node with the
+smallest identifier, exactly what the degree-reduction layer of the MDST
+algorithm builds upon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..sim.messages import Message
+from ..sim.network import Network
+from ..sim.node import Process
+from ..types import NodeId
+
+__all__ = ["STInfo", "TreeVars", "NeighborView", "SpanningTreeProcess",
+           "spanning_tree_process_factory", "st_legitimacy"]
+
+
+@dataclass(frozen=True)
+class STInfo(Message):
+    """Gossip message carrying the spanning-tree variables of the sender."""
+
+    root: int
+    parent: int
+    distance: int
+
+
+@dataclass
+class TreeVars:
+    """The three spanning-tree variables of one node."""
+
+    root: int
+    parent: int
+    distance: int
+
+
+@dataclass
+class NeighborView:
+    """Cached copy of a neighbour's spanning-tree variables (send/receive model)."""
+
+    root: int
+    parent: int
+    distance: int
+    heard: bool = False  # whether at least one gossip message has been received
+
+
+class SpanningTreeProcess(Process):
+    """Standalone self-stabilizing spanning-tree protocol.
+
+    Parameters
+    ----------
+    node_id, neighbors:
+        Standard :class:`~repro.sim.node.Process` arguments.
+    n_upper:
+        Upper bound on the network size, used to bound distances.  Defaults
+        to a loose constant when not provided; experiments always provide the
+        exact ``n`` (any upper bound preserves correctness, a tight one
+        improves convergence time).
+    """
+
+    def __init__(self, node_id: NodeId, neighbors: Sequence[NodeId],
+                 n_upper: int | None = None):
+        super().__init__(node_id, neighbors)
+        self.n_upper = int(n_upper) if n_upper is not None else 1 << 16
+        self.vars = TreeVars(root=node_id, parent=node_id, distance=0)
+        self.view: Dict[NodeId, NeighborView] = {
+            u: NeighborView(root=u, parent=u, distance=0) for u in self.neighbors
+        }
+
+    # -- predicates (local, §3.1) ----------------------------------------------
+
+    def better_parent(self) -> bool:
+        """``True`` when some neighbour advertises a strictly smaller root."""
+        return any(view.heard and view.root < self.vars.root
+                   for view in self.view.values())
+
+    def coherent_parent(self) -> bool:
+        """Parent is self or a neighbour advertising the same root.
+
+        A root larger than the node's own identifier is always incoherent:
+        the node itself would be a better root, so such a value can only come
+        from a corrupted initial state and must trigger a reset.
+        """
+        v = self.vars
+        if v.root > self.node_id:
+            return False
+        if v.parent == self.node_id:
+            return v.root == self.node_id and v.distance == 0
+        if v.parent not in self.view:
+            return False
+        pview = self.view[v.parent]
+        return (not pview.heard) or pview.root == v.root
+
+    def coherent_distance(self) -> bool:
+        """Distance equals the parent's advertised distance plus one and is bounded."""
+        v = self.vars
+        if v.distance >= self.n_upper:
+            return False
+        if v.parent == self.node_id:
+            return v.distance == 0
+        pview = self.view.get(v.parent)
+        if pview is None:
+            return False
+        return (not pview.heard) or v.distance == pview.distance + 1
+
+    def new_root_candidate(self) -> bool:
+        """Paper predicate: the local state is incoherent and needs a reset."""
+        return not self.coherent_parent() or self.vars.distance >= self.n_upper
+
+    def tree_stabilized(self) -> bool:
+        """Paper predicate ``tree_stabilized(v)``."""
+        return (not self.better_parent() and not self.new_root_candidate()
+                and self.coherent_distance())
+
+    # -- rules -----------------------------------------------------------------
+
+    def _create_new_root(self) -> None:
+        self.vars.root = self.node_id
+        self.vars.parent = self.node_id
+        self.vars.distance = 0
+
+    def _change_parent_to(self, u: NodeId) -> None:
+        view = self.view[u]
+        self.vars.root = view.root
+        self.vars.parent = u
+        self.vars.distance = view.distance + 1
+
+    def apply_rules(self) -> bool:
+        """Apply R2, R1, R3 (in priority order).  Returns ``True`` on change."""
+        changed = False
+        if self.new_root_candidate():                                   # R2
+            self._create_new_root()
+            changed = True
+        if not self.new_root_candidate() and self.better_parent():      # R1
+            candidates = [u for u, view in self.view.items()
+                          if view.heard and view.root < self.vars.root
+                          and view.distance + 1 < self.n_upper]
+            if candidates:
+                best_root = min(self.view[u].root for u in candidates)
+                best = min(u for u in candidates if self.view[u].root == best_root)
+                self._change_parent_to(best)
+                changed = True
+        if not self.new_root_candidate() and not self.coherent_distance():  # R3
+            pview = self.view.get(self.vars.parent)
+            if self.vars.parent == self.node_id:
+                self.vars.distance = 0
+            elif pview is not None and pview.heard:
+                self.vars.distance = pview.distance + 1
+            changed = True
+            if self.vars.distance >= self.n_upper:
+                self._create_new_root()
+        return changed
+
+    # -- Process hooks -----------------------------------------------------------
+
+    def on_timeout(self) -> None:
+        self.apply_rules()
+        info = STInfo(root=self.vars.root, parent=self.vars.parent,
+                      distance=self.vars.distance)
+        self.broadcast(info)
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if not isinstance(message, STInfo):
+            return  # garbage / foreign message: ignore (and thereby flush)
+        if sender not in self.view:
+            return
+        view = self.view[sender]
+        view.root = message.root
+        view.parent = message.parent
+        view.distance = message.distance
+        view.heard = True
+        self.apply_rules()
+
+    # -- self-stabilization support ----------------------------------------------
+
+    def corrupt(self, rng: np.random.Generator) -> None:
+        """Overwrite every protocol variable with arbitrary values."""
+        ids = list(self.neighbors) + [self.node_id, int(rng.integers(-5, 100))]
+        self.vars.root = int(rng.choice(ids))
+        self.vars.parent = int(rng.choice(list(self.neighbors) + [self.node_id]))
+        self.vars.distance = int(rng.integers(0, max(2, self.n_upper)))
+        for view in self.view.values():
+            view.root = int(rng.choice(ids))
+            view.parent = int(rng.choice(ids))
+            view.distance = int(rng.integers(0, max(2, self.n_upper)))
+            view.heard = bool(rng.integers(0, 2))
+
+    def state_bits(self, network_size: int) -> int:
+        """O(δ log n): own variables plus one cached copy per neighbour."""
+        import math
+        idbits = max(1, math.ceil(math.log2(max(network_size, 2)))) + 1
+        own = 3 * idbits
+        per_neighbor = 3 * idbits + 1
+        return own + per_neighbor * len(self.neighbors)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "root": self.vars.root,
+            "parent": self.vars.parent,
+            "distance": self.vars.distance,
+        }
+
+
+def spanning_tree_process_factory(n_upper: int | None = None):
+    """Factory suitable for :class:`repro.sim.network.Network` construction."""
+    def factory(node_id: NodeId, neighbors: Sequence[NodeId]) -> SpanningTreeProcess:
+        return SpanningTreeProcess(node_id, neighbors, n_upper=n_upper)
+    return factory
+
+
+def st_legitimacy(network: Network) -> bool:
+    """Global legitimacy predicate of the standalone spanning-tree protocol.
+
+    Holds when every node agrees on the smallest identifier as root, parent
+    pointers form a spanning tree of the communication graph rooted at that
+    node, and all distances are coherent.
+    """
+    snaps = network.snapshots()
+    min_id = min(network.node_ids)
+    parent: Dict[NodeId, NodeId] = {}
+    distance: Dict[NodeId, int] = {}
+    for v, snap in snaps.items():
+        if snap.get("root") != min_id:
+            return False
+        parent[v] = snap.get("parent")  # type: ignore[assignment]
+        distance[v] = snap.get("distance")  # type: ignore[assignment]
+    if parent.get(min_id) != min_id or distance.get(min_id) != 0:
+        return False
+    for v, p in parent.items():
+        if v == min_id:
+            continue
+        if p == v or not network.has_edge(v, p):
+            return False
+        if distance[v] != distance[p] + 1:
+            return False
+    # Reaching the root from every node (no cycles) -- distances being strictly
+    # decreasing along parent pointers already guarantees it, but check anyway.
+    for v in network.node_ids:
+        cur, hops = v, 0
+        while cur != min_id:
+            cur = parent[cur]
+            hops += 1
+            if hops > len(network.node_ids):
+                return False
+    return True

@@ -1,0 +1,117 @@
+"""Shared type aliases and small value objects used across the library.
+
+The simulator and the algorithms intentionally use *plain Python ints* as node
+identifiers: the paper assumes each processor owns a unique comparable
+identifier (``ID_v``), and integer ids keep the hot paths (dict lookups, list
+manipulation of cycle paths) cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+#: A node identifier.  The paper assumes unique, totally ordered identifiers.
+NodeId = int
+
+#: An undirected edge, always stored in canonical ``(min, max)`` order.
+Edge = Tuple[NodeId, NodeId]
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical representation of the undirected edge ``{u, v}``.
+
+    Canonicalisation lets edge sets be compared and hashed regardless of the
+    orientation in which an edge was produced.
+
+    >>> canonical_edge(5, 2)
+    (2, 5)
+    """
+    if u == v:
+        raise ValueError(f"self-loop edge ({u}, {v}) is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+def canonical_edges(edges: Iterable[Tuple[NodeId, NodeId]]) -> set[Edge]:
+    """Canonicalise an iterable of edges into a set."""
+    return {canonical_edge(u, v) for (u, v) in edges}
+
+
+@dataclass(frozen=True)
+class TreeSnapshot:
+    """An immutable snapshot of a (claimed) spanning tree.
+
+    Attributes
+    ----------
+    root:
+        Identifier of the tree root.
+    parent:
+        Mapping ``node -> parent``; the root maps to itself.
+    edges:
+        Canonical edge set of the tree.
+    """
+
+    root: NodeId
+    parent: dict[NodeId, NodeId] = field(hash=False)
+    edges: frozenset[Edge] = field(hash=False)
+
+    @staticmethod
+    def from_parent_map(parent: dict[NodeId, NodeId]) -> "TreeSnapshot":
+        """Build a snapshot from a ``node -> parent`` map.
+
+        The root is the (unique) node whose parent is itself.  No validation
+        beyond root detection is performed here; use
+        :func:`repro.graphs.validation.check_spanning_tree` for full checks.
+        """
+        roots = [v for v, p in parent.items() if p == v]
+        if len(roots) != 1:
+            raise ValueError(
+                f"parent map must contain exactly one self-parented root, got {roots}"
+            )
+        edges = frozenset(
+            canonical_edge(v, p) for v, p in parent.items() if p != v
+        )
+        return TreeSnapshot(root=roots[0], parent=dict(parent), edges=edges)
+
+    def degree_of(self, v: NodeId) -> int:
+        """Degree of ``v`` in the tree."""
+        return sum(1 for (a, b) in self.edges if a == v or b == v)
+
+    def degree(self) -> int:
+        """Maximum node degree of the tree (``deg(T)`` in the paper)."""
+        counts: dict[NodeId, int] = {}
+        for a, b in self.edges:
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+        return max(counts.values()) if counts else 0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running a distributed protocol to convergence.
+
+    Attributes
+    ----------
+    converged:
+        Whether the legitimacy predicate was reached within the round budget.
+    rounds:
+        Number of (asynchronous) rounds executed.
+    steps:
+        Number of atomic steps (single message receipt or timeout action).
+    messages:
+        Total number of messages delivered.
+    tree:
+        Final tree snapshot (``None`` if no coherent tree was formed).
+    tree_degree:
+        Degree of the final tree (``0`` when ``tree`` is ``None``).
+    extra:
+        Free-form per-protocol metrics (e.g. improvements performed).
+    """
+
+    converged: bool
+    rounds: int
+    steps: int
+    messages: int
+    tree: TreeSnapshot | None
+    tree_degree: int
+    extra: dict = field(default_factory=dict, hash=False)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import make_graph
+
+
+@pytest.fixture
+def wheel8() -> nx.Graph:
+    """Wheel graph on 8 nodes: hub degree 7, Δ* = 2."""
+    return make_graph("wheel", 8)
+
+
+@pytest.fixture
+def small_dense() -> nx.Graph:
+    """Small dense random graph with a known seed."""
+    return make_graph("erdos_renyi_dense", 9, seed=42)
+
+
+@pytest.fixture
+def geometric14() -> nx.Graph:
+    """Sparse geometric graph, typical ad-hoc topology."""
+    return make_graph("random_geometric", 14, seed=7)
+
+
+@pytest.fixture
+def two_hub7() -> nx.Graph:
+    """Two hubs sharing 5 leaves: Δ* = 3, BFS tree degree 6."""
+    return make_graph("two_hub", 7)

@@ -1,0 +1,166 @@
+"""Tests for the baseline algorithms (exact, FR, local search, simple trees)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    FRResult,
+    SerializationCostModel,
+    evaluate_simple_trees,
+    exact_mdst_degree,
+    exact_mdst_tree,
+    fuerer_raghavachari,
+    greedy_local_search,
+    has_degree_bounded_spanning_tree,
+    serialized_vs_concurrent_cost,
+    baseline_tree,
+)
+from repro.exceptions import ExactSolverBudgetError
+from repro.graphs import (
+    bfs_spanning_tree,
+    is_spanning_tree,
+    make_graph,
+    mdst_lower_bound,
+    tree_degree,
+    tree_degrees,
+)
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("family,n,expected", [
+        ("complete", 6, 2),       # Hamiltonian path exists
+        ("cycle", 7, 2),          # any tree of a cycle is a path
+        ("star", 6, 5),           # the star is the only spanning tree
+        ("wheel", 8, 2),          # rim forms a Hamiltonian path
+        ("path", 6, 2),
+    ])
+    def test_known_optimal_degrees(self, family, n, expected):
+        g = make_graph(family, n)
+        assert exact_mdst_degree(g) == expected
+
+    def test_two_hub_closed_form(self):
+        # L leaves each adjacent to both hubs: deg(a)+deg(b) >= L+1 in any
+        # spanning tree, and a balanced split achieves ceil((L+1)/2).
+        for leaves in (3, 4, 5, 6):
+            g = make_graph("two_hub", leaves + 2)
+            assert exact_mdst_degree(g) == leaves // 2 + 1
+
+    def test_decision_problem_infeasible_below_optimum(self):
+        g = make_graph("star", 6)
+        assert has_degree_bounded_spanning_tree(g, 4) is None
+        assert has_degree_bounded_spanning_tree(g, 5) is not None
+
+    def test_exact_tree_is_valid_and_optimal(self):
+        g = make_graph("erdos_renyi_dense", 9, seed=1)
+        tree = exact_mdst_tree(g)
+        assert is_spanning_tree(g, tree)
+        assert tree_degree(g.nodes, tree) == exact_mdst_degree(g)
+
+    def test_degree_never_below_lower_bound(self):
+        for seed in range(3):
+            g = make_graph("erdos_renyi_sparse", 10, seed=seed)
+            assert exact_mdst_degree(g) >= mdst_lower_bound(g)
+
+    def test_budget_exhaustion_raises(self):
+        g = make_graph("erdos_renyi_dense", 12, seed=0)
+        with pytest.raises(ExactSolverBudgetError):
+            has_degree_bounded_spanning_tree(g, 2, budget=5)
+
+    def test_trivial_sizes(self):
+        assert exact_mdst_degree(nx.path_graph(1)) == 0
+        assert exact_mdst_degree(nx.path_graph(2)) == 1
+
+
+class TestFuererRaghavachari:
+    @pytest.mark.parametrize("family,n,seed", [
+        ("wheel", 9, 0), ("complete", 8, 0), ("two_hub", 9, 0),
+        ("erdos_renyi_dense", 10, 2), ("hard_hub", 9, 0),
+        ("star_of_cliques", 12, 0), ("lollipop", 9, 0),
+    ])
+    def test_within_one_of_optimal(self, family, n, seed):
+        g = make_graph(family, n, seed=seed)
+        result = fuerer_raghavachari(g)
+        assert is_spanning_tree(g, result.tree_edges)
+        optimal = exact_mdst_degree(g)
+        assert optimal <= result.final_degree <= optimal + 1
+
+    def test_counts_swap_kinds(self, wheel8):
+        result = fuerer_raghavachari(wheel8)
+        assert result.swaps == result.improvement_swaps + result.deblock_swaps
+        assert result.swaps > 0
+
+    def test_accepts_custom_initial_tree(self, small_dense):
+        tree = bfs_spanning_tree(small_dense)
+        result = fuerer_raghavachari(small_dense, initial_tree=tree)
+        assert result.initial_degree == tree_degree(small_dense.nodes, tree)
+        assert result.final_degree <= result.initial_degree
+
+    def test_no_swaps_needed_on_path(self):
+        g = make_graph("cycle", 8)
+        result = fuerer_raghavachari(g)
+        assert result.swaps == 0
+        assert result.final_degree == 2
+
+
+class TestLocalSearch:
+    def test_reduces_wheel_to_low_degree(self, wheel8):
+        result = greedy_local_search(wheel8)
+        assert is_spanning_tree(wheel8, result.tree_edges)
+        assert result.final_degree < result.initial_degree
+
+    def test_never_better_than_fr(self):
+        """Direct improvements alone can stall earlier than FR (never later)."""
+        for family, n, seed in [("two_hub", 9, 0), ("erdos_renyi_dense", 10, 3),
+                                ("star_of_cliques", 12, 0)]:
+            g = make_graph(family, n, seed=seed)
+            ls = greedy_local_search(g)
+            fr = fuerer_raghavachari(g)
+            assert ls.final_degree >= fr.final_degree
+
+    def test_history_is_monotone_non_increasing(self, wheel8):
+        result = greedy_local_search(wheel8)
+        assert all(a >= b for a, b in zip(result.degree_history,
+                                          result.degree_history[1:]))
+
+
+class TestSimpleTrees:
+    def test_all_baselines_produce_spanning_trees(self, geometric14):
+        for name, res in evaluate_simple_trees(geometric14, seed=1).items():
+            assert is_spanning_tree(geometric14, res.tree_edges), name
+            assert res.degree >= 1
+            assert res.leaves >= 2
+
+    def test_baseline_tree_lookup(self, small_dense):
+        edges = baseline_tree("bfs", small_dense)
+        assert edges == bfs_spanning_tree(small_dense)
+        with pytest.raises(KeyError):
+            baseline_tree("nonexistent", small_dense)
+
+    def test_bfs_tree_on_wheel_has_high_degree(self, wheel8):
+        results = evaluate_simple_trees(wheel8, seed=0)
+        assert results["bfs"].degree == 7
+        assert results["dfs"].degree <= 3
+
+    def test_mean_degree_close_to_two(self, small_dense):
+        results = evaluate_simple_trees(small_dense, seed=0)
+        n = small_dense.number_of_nodes()
+        for res in results.values():
+            assert abs(res.mean_degree - 2 * (n - 1) / n) < 1e-9
+
+
+class TestSerializationModel:
+    def test_speedup_at_least_one(self):
+        g = make_graph("star_of_cliques", 15)
+        model = serialized_vs_concurrent_cost(g)
+        assert model.serialized_rounds >= model.concurrent_rounds
+        assert model.speedup >= 1.0
+        assert model.swaps == len(model.swap_cycle_lengths)
+
+    def test_no_swaps_means_equal_costs(self):
+        g = make_graph("cycle", 8)
+        model = serialized_vs_concurrent_cost(g)
+        assert model.swaps == 0
+        assert model.serialized_rounds == model.concurrent_rounds == 0
+        assert model.speedup == 1.0

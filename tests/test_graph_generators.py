@@ -1,0 +1,151 @@
+"""Tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators as gen
+from repro.graphs import make_graph, family_names
+
+
+class TestStructuredFamilies:
+    def test_complete_graph_sizes(self):
+        g = gen.complete_graph(6)
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 15
+
+    def test_complete_graph_rejects_zero(self):
+        with pytest.raises(GraphError):
+            gen.complete_graph(0)
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(7)
+        assert g.number_of_edges() == 7
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_cycle_graph_minimum_size(self):
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+    def test_path_graph_is_tree(self):
+        g = gen.path_graph(9)
+        assert nx.is_tree(g)
+
+    def test_star_graph_degrees(self):
+        g = gen.star_graph(5)
+        degrees = sorted(d for _, d in g.degree())
+        assert degrees == [1, 1, 1, 1, 1, 5]
+
+    def test_wheel_graph_hub(self):
+        g = gen.wheel_graph(8)
+        assert max(d for _, d in g.degree()) == 7
+
+    def test_grid_graph_dimensions(self):
+        g = gen.grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert nx.is_connected(g)
+
+    def test_torus_graph_regular(self):
+        g = gen.torus_graph(3, 3)
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_hypercube_graph(self):
+        g = gen.hypercube_graph(3)
+        assert g.number_of_nodes() == 8
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_ring_with_chords_contains_cycle(self):
+        g = gen.ring_with_chords(10, 4, seed=1)
+        assert g.number_of_edges() >= 10
+        assert nx.is_connected(g)
+
+    def test_two_hub_graph_structure(self):
+        g = gen.two_hub_graph(5)
+        assert g.number_of_nodes() == 7
+        # both hubs adjacent to every leaf and to each other
+        assert g.degree[0] == 6 and g.degree[1] == 6
+
+    def test_spider_graph_centre_degree(self):
+        g = gen.spider_graph(4, 3)
+        assert g.degree[0] == 4
+        assert g.number_of_nodes() == 1 + 4 * 3
+
+    def test_hard_hub_graph(self):
+        g = gen.hard_hub_graph(6)
+        assert g.degree[0] == 6
+        assert nx.is_connected(g)
+
+    def test_star_of_cliques_multiple_hubs(self):
+        g = gen.star_of_cliques(3, 4)
+        assert nx.is_connected(g)
+        hubs_degree = [g.degree[h] for h in range(3)]
+        assert all(d >= 4 for d in hubs_degree)
+
+    def test_caterpillar_with_hubs(self):
+        g = gen.caterpillar_with_hubs(3, 2, extra_edges=2, seed=0)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 3 + 3 * 2
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_connected_and_seeded(self):
+        g1 = gen.erdos_renyi_connected(20, 0.2, seed=5)
+        g2 = gen.erdos_renyi_connected(20, 0.2, seed=5)
+        assert nx.is_connected(g1)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_erdos_renyi_patched_when_sparse(self):
+        g = gen.erdos_renyi_connected(30, 0.01, seed=3)
+        assert nx.is_connected(g)
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(GraphError):
+            gen.erdos_renyi_connected(10, 1.5)
+
+    def test_random_geometric_connected(self):
+        g = gen.random_geometric_connected(25, seed=11)
+        assert nx.is_connected(g)
+
+    def test_barabasi_albert_has_hubs(self):
+        g = gen.barabasi_albert_graph(30, 2, seed=1)
+        assert max(d for _, d in g.degree()) >= 4
+
+    def test_watts_strogatz_connected(self):
+        g = gen.watts_strogatz_connected(20, 4, 0.3, seed=2)
+        assert nx.is_connected(g)
+
+    def test_random_regular(self):
+        g = gen.random_regular_connected(10, 3, seed=4)
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_dense_hamiltonian_certificate(self):
+        g = gen.dense_hamiltonian_graph(12, 0.3, seed=9)
+        path = g.graph["hamiltonian_path"]
+        assert len(path) == 12
+        assert all(g.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+class TestRegistry:
+    def test_family_names_sorted_and_nonempty(self):
+        names = family_names()
+        assert names == sorted(names)
+        assert "complete" in names and "random_geometric" in names
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_every_family_builds_connected_graph(self, family):
+        g = make_graph(family, 12, seed=1)
+        assert g.number_of_nodes() >= 2
+        assert nx.is_connected(g)
+        assert not any(u == v for u, v in g.edges)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(GraphError):
+            make_graph("no_such_family", 10)
+
+    def test_nodes_are_contiguous_ints(self):
+        g = make_graph("grid", 9)
+        assert sorted(g.nodes) == list(range(g.number_of_nodes()))

@@ -1,0 +1,145 @@
+"""Tests for repro.graphs.spanning (tree construction, cycles, swaps)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NotASpanningTreeError, NotConnectedError
+from repro.graphs import (
+    bfs_spanning_tree,
+    dfs_spanning_tree,
+    edges_from_parent_map,
+    fundamental_cycle,
+    fundamental_cycle_edges,
+    is_spanning_tree,
+    make_graph,
+    minimum_spanning_tree,
+    non_tree_edges,
+    parent_map_from_edges,
+    random_spanning_tree,
+    swap_edges,
+    tree_degree,
+    tree_degrees,
+    tree_path,
+)
+
+
+class TestTreeConstruction:
+    def test_bfs_tree_is_spanning_tree(self, wheel8):
+        edges = bfs_spanning_tree(wheel8)
+        assert is_spanning_tree(wheel8, edges)
+
+    def test_bfs_tree_rooted_at_min_id_has_hub_shape_on_wheel(self, wheel8):
+        edges = bfs_spanning_tree(wheel8)
+        # the hub (node 0) is adjacent to all others, so the BFS tree is a star
+        assert tree_degree(wheel8.nodes, edges) == 7
+
+    def test_dfs_tree_is_spanning_tree(self, small_dense):
+        edges = dfs_spanning_tree(small_dense)
+        assert is_spanning_tree(small_dense, edges)
+
+    def test_dfs_tree_on_complete_graph_is_path(self):
+        g = make_graph("complete", 8)
+        edges = dfs_spanning_tree(g)
+        assert tree_degree(g.nodes, edges) == 2
+
+    def test_random_tree_seeded_and_valid(self, small_dense):
+        t1 = random_spanning_tree(small_dense, seed=3)
+        t2 = random_spanning_tree(small_dense, seed=3)
+        t3 = random_spanning_tree(small_dense, seed=4)
+        assert t1 == t2
+        assert is_spanning_tree(small_dense, t1)
+        assert is_spanning_tree(small_dense, t3)
+
+    def test_mst_is_spanning_tree(self, geometric14):
+        assert is_spanning_tree(geometric14, minimum_spanning_tree(geometric14))
+
+    def test_bfs_requires_connected_graph(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            bfs_spanning_tree(g)
+
+    def test_bfs_custom_root(self, wheel8):
+        edges = bfs_spanning_tree(wheel8, root=3)
+        assert is_spanning_tree(wheel8, edges)
+
+
+class TestParentMaps:
+    def test_parent_map_round_trip(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        parent = parent_map_from_edges(small_dense.nodes, edges)
+        assert edges_from_parent_map(parent) == edges
+        assert sum(1 for v, p in parent.items() if v == p) == 1
+
+    def test_parent_map_detects_non_spanning(self, small_dense):
+        edges = list(bfs_spanning_tree(small_dense))[:-1]  # drop one edge
+        with pytest.raises(NotASpanningTreeError):
+            parent_map_from_edges(small_dense.nodes, edges)
+
+    def test_parent_map_custom_root(self, wheel8):
+        edges = bfs_spanning_tree(wheel8)
+        parent = parent_map_from_edges(wheel8.nodes, edges, root=4)
+        assert parent[4] == 4
+
+
+class TestDegreesAndCycles:
+    def test_tree_degrees_sum(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        degrees = tree_degrees(small_dense.nodes, edges)
+        assert sum(degrees.values()) == 2 * len(edges)
+
+    def test_non_tree_edges_count(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        extra = non_tree_edges(small_dense, edges)
+        assert len(extra) == small_dense.number_of_edges() - len(edges)
+
+    def test_fundamental_cycle_endpoints(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        for e in sorted(non_tree_edges(small_dense, edges))[:5]:
+            cycle = fundamental_cycle(edges, e)
+            assert cycle[0] == e[0] and cycle[-1] == e[1]
+            assert len(cycle) == len(set(cycle))
+
+    def test_fundamental_cycle_edges_are_tree_edges(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        e = sorted(non_tree_edges(small_dense, edges))[0]
+        for ce in fundamental_cycle_edges(edges, e):
+            assert ce in edges
+
+    def test_tree_path_trivial(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        assert tree_path(edges, 3, 3) == [3]
+
+    def test_tree_path_is_connected_in_tree(self, geometric14):
+        edges = bfs_spanning_tree(geometric14)
+        path = tree_path(edges, 0, max(geometric14.nodes))
+        for a, b in zip(path, path[1:]):
+            assert tuple(sorted((a, b))) in edges
+
+
+class TestSwaps:
+    def test_swap_preserves_spanning_tree(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        e = sorted(non_tree_edges(small_dense, edges))[0]
+        cycle_edges = fundamental_cycle_edges(edges, e)
+        new_tree = swap_edges(edges, add=e, remove=cycle_edges[0])
+        assert is_spanning_tree(small_dense, new_tree)
+
+    def test_swap_rejects_missing_edge(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        e = sorted(non_tree_edges(small_dense, edges))[0]
+        with pytest.raises(NotASpanningTreeError):
+            swap_edges(edges, add=e, remove=e)
+
+    def test_swap_rejects_adding_tree_edge(self, small_dense):
+        edges = bfs_spanning_tree(small_dense)
+        some_tree_edge = next(iter(edges))
+        with pytest.raises(NotASpanningTreeError):
+            swap_edges(edges, add=some_tree_edge, remove=some_tree_edge)
+
+    def test_is_spanning_tree_rejects_foreign_edges(self, small_dense):
+        edges = set(bfs_spanning_tree(small_dense))
+        n = small_dense.number_of_nodes()
+        edges.add((n + 5, n + 6))
+        assert not is_spanning_tree(small_dense, edges)

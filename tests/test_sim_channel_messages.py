@@ -1,0 +1,107 @@
+"""Tests for repro.sim.messages and repro.sim.channel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exceptions import ChannelError
+from repro.sim import Channel, GarbageMessage, Message, estimate_bits, id_bits
+from repro.core.messages import MInfo, Remove, Search
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    value: int = 0
+
+
+class TestMessageSizes:
+    def test_id_bits_monotone(self):
+        assert id_bits(2) <= id_bits(16) <= id_bits(1024)
+
+    def test_estimate_bits_scalar_types(self):
+        assert estimate_bits(None, 10) == 1
+        assert estimate_bits(True, 10) == 1
+        assert estimate_bits(7, 10) == id_bits(10)
+        assert estimate_bits(1.5, 10) == 32
+
+    def test_estimate_bits_containers(self):
+        n = 16
+        assert estimate_bits([1, 2, 3], n) == id_bits(n) + 3 * id_bits(n)
+        assert estimate_bits({1: 2}, n) == id_bits(n) + 2 * id_bits(n)
+
+    def test_message_size_includes_type_tag(self):
+        assert Ping(value=3).size_bits(8) > id_bits(8)
+
+    def test_info_message_size_constant_in_n(self):
+        small = MInfo(root=0, parent=1, distance=2, degree=1, sub_max=2, dmax=2,
+                      color=True).size_bits(8)
+        large = MInfo(root=0, parent=1, distance=2, degree=1, sub_max=2, dmax=2,
+                      color=True).size_bits(1024)
+        # grows only logarithmically with n (same number of fields)
+        assert large < 3 * small
+
+    def test_search_message_size_grows_with_path(self):
+        short = Search(init_edge=(1, 0), idblock=None, path=((0, 1),), visited=(0,))
+        long = Search(init_edge=(1, 0), idblock=None,
+                      path=tuple((i, 2) for i in range(20)),
+                      visited=tuple(range(20)))
+        assert long.size_bits(32) > short.size_bits(32)
+
+    def test_type_name(self):
+        assert Ping().type_name() == "Ping"
+        assert GarbageMessage().type_name() == "GarbageMessage"
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        ch = Channel(0, 1, network_size=4)
+        for i in range(5):
+            ch.send(Ping(value=i))
+        assert [ch.deliver().value for _ in range(5)] == list(range(5))
+
+    def test_reject_self_loop(self):
+        with pytest.raises(ChannelError):
+            Channel(3, 3)
+
+    def test_deliver_empty_raises(self):
+        ch = Channel(0, 1)
+        with pytest.raises(ChannelError):
+            ch.deliver()
+
+    def test_send_rejects_non_message(self):
+        ch = Channel(0, 1)
+        with pytest.raises(ChannelError):
+            ch.send("not a message")  # type: ignore[arg-type]
+
+    def test_peek_does_not_consume(self):
+        ch = Channel(0, 1)
+        ch.send(Ping(value=9))
+        assert ch.peek().value == 9
+        assert len(ch) == 1
+
+    def test_stats_tracking(self):
+        ch = Channel(0, 1, network_size=8)
+        ch.send(Ping(value=1))
+        ch.send(Ping(value=2))
+        ch.deliver()
+        assert ch.stats.sent == 2
+        assert ch.stats.delivered == 1
+        assert ch.stats.max_queue_length == 2
+        assert ch.stats.max_message_bits > 0
+
+    def test_preload_and_clear(self):
+        ch = Channel(0, 1)
+        ch.preload([GarbageMessage(), GarbageMessage()])
+        assert len(ch) == 2
+        ch.clear()
+        assert not ch
+
+    def test_preload_rejects_non_messages(self):
+        ch = Channel(0, 1)
+        with pytest.raises(ChannelError):
+            ch.preload(["junk"])  # type: ignore[list-item]
+
+    def test_endpoints(self):
+        assert Channel(2, 5).endpoints == (2, 5)

@@ -1,0 +1,122 @@
+"""Tests for the PIF max-degree module and the global predicates."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import bfs_spanning_tree, make_graph, parent_map_from_edges, tree_degree
+from repro.sim import Network, Simulator, SynchronousScheduler, corrupt_states
+from repro.stabilization import (
+    MaxDegreeAggregator,
+    MaxDegreeProcess,
+    max_degree_process_factory,
+    pif_legitimacy,
+)
+from repro.stabilization.predicates import (
+    distances_coherent,
+    dmax_agrees_with_tree,
+    extract_parent_map,
+    has_unique_root,
+    parent_map_is_spanning_tree,
+    snapshot_tree_degree,
+    tree_edges_from_snapshots,
+)
+
+
+def build_pif_network(graph):
+    tree = bfs_spanning_tree(graph)
+    parent = parent_map_from_edges(graph.nodes, tree)
+    net = Network(graph, max_degree_process_factory(parent))
+    expected = tree_degree(graph.nodes, tree)
+    return net, expected
+
+
+class TestAggregator:
+    def test_sub_max_takes_children_into_account(self):
+        sub = MaxDegreeAggregator.sub_max(
+            own_degree=2, node_id=1,
+            neighbor_parent={2: 1, 3: 5}, neighbor_sub_max={2: 7, 3: 9})
+        assert sub == 7  # node 3 is not a child, its value is ignored
+
+    def test_dmax_root_uses_own_submax(self):
+        assert MaxDegreeAggregator.dmax(True, 5, 0, {}) == 5
+
+    def test_dmax_nonroot_copies_parent(self):
+        assert MaxDegreeAggregator.dmax(False, 5, 2, {2: 9}) == 9
+
+
+class TestMaxDegreeProtocol:
+    @pytest.mark.parametrize("family,n", [("wheel", 8), ("grid", 9), ("path", 7)])
+    def test_converges_to_true_degree(self, family, n):
+        graph = make_graph(family, n, seed=0)
+        net, expected = build_pif_network(graph)
+        sim = Simulator(net, legitimacy=pif_legitimacy(expected), stability_window=2)
+        report = sim.run(max_rounds=200)
+        assert report.converged
+        assert all(s["dmax"] == expected for s in net.snapshots().values())
+
+    def test_recovers_from_corrupted_aggregation_state(self):
+        graph = make_graph("grid", 9, seed=0)
+        net, expected = build_pif_network(graph)
+        corrupt_states(net, np.random.default_rng(1), fraction=1.0)
+        sim = Simulator(net, legitimacy=pif_legitimacy(expected), stability_window=2)
+        assert sim.run(max_rounds=300).converged
+
+    def test_state_bits_scale_with_degree(self):
+        graph = make_graph("wheel", 8)
+        net, _ = build_pif_network(graph)
+        hub_bits = net.processes[0].state_bits(8)
+        leaf_bits = net.processes[3].state_bits(8)
+        assert hub_bits > leaf_bits
+
+
+class TestGlobalPredicates:
+    def _snapshots_for_tree(self, graph):
+        tree = bfs_spanning_tree(graph)
+        parent = parent_map_from_edges(graph.nodes, tree)
+        dist = nx.single_source_shortest_path_length(graph, 0)
+        degree = tree_degree(graph.nodes, tree)
+        return {
+            v: {"root": 0, "parent": parent[v], "distance": dist[v], "dmax": degree}
+            for v in graph.nodes
+        }, tree, degree
+
+    def test_unique_root(self, small_dense):
+        snaps, _, _ = self._snapshots_for_tree(small_dense)
+        assert has_unique_root(snaps)
+        snaps[3]["root"] = 99
+        assert not has_unique_root(snaps)
+
+    def test_parent_map_extraction_and_tree_check(self, small_dense):
+        snaps, tree, _ = self._snapshots_for_tree(small_dense)
+        net = Network(small_dense, max_degree_process_factory(
+            parent_map_from_edges(small_dense.nodes, tree)))
+        assert extract_parent_map(snaps)[0] == 0
+        assert parent_map_is_spanning_tree(net, snaps)
+        assert tree_edges_from_snapshots(net, snaps) == tree
+
+    def test_parent_cycle_detected(self, small_dense):
+        snaps, _, _ = self._snapshots_for_tree(small_dense)
+        net = Network(small_dense, max_degree_process_factory(
+            parent_map_from_edges(small_dense.nodes, bfs_spanning_tree(small_dense))))
+        a, b = sorted(small_dense.edges())[0]
+        snaps[a]["parent"] = b
+        snaps[b]["parent"] = a
+        assert not parent_map_is_spanning_tree(net, snaps)
+
+    def test_distances_coherent(self, small_dense):
+        snaps, _, _ = self._snapshots_for_tree(small_dense)
+        assert distances_coherent(snaps)
+        snaps[4]["distance"] = 99
+        assert not distances_coherent(snaps)
+
+    def test_snapshot_tree_degree_and_dmax_agreement(self, wheel8):
+        snaps, tree, degree = self._snapshots_for_tree(wheel8)
+        net = Network(wheel8, max_degree_process_factory(
+            parent_map_from_edges(wheel8.nodes, tree)))
+        assert snapshot_tree_degree(net, snaps) == degree
+        assert dmax_agrees_with_tree(net, snaps)
+        snaps[2]["dmax"] = degree + 1
+        assert not dmax_agrees_with_tree(net, snaps)
