@@ -22,6 +22,9 @@ Subpackages
     Metrics, convergence/memory accounting, tables, result records.
 ``repro.experiments``
     Workloads, sweep runner and the E1-E8 experiment definitions.
+``repro.runtime``
+    Parallel sweep engine: serializable run specs, process-pool execution,
+    on-disk result caching, and the ``repro`` command-line interface.
 """
 
 from .types import Edge, NodeId, RunResult, TreeSnapshot, canonical_edge, canonical_edges
@@ -40,7 +43,7 @@ from .exceptions import (
     SimulationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Edge",

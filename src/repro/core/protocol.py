@@ -44,7 +44,26 @@ from .node_algorithm import MDSTNode, mdst_node_factory
 __all__ = ["MDSTConfig", "MDSTResult", "build_mdst_network", "initialize_from_tree",
            "initialize_isolated", "run_mdst"]
 
-#: Recognised initial-configuration policies.
+#: Recognised initial-configuration policies for :attr:`MDSTConfig.initial`.
+#:
+#: ``"bfs_tree"``
+#:     Install a coherent configuration describing the BFS spanning tree of
+#:     the network (see :func:`initialize_from_tree`): the spanning-tree and
+#:     max-degree layers start already stabilized, so the run isolates the
+#:     degree-reduction phase.  Used by E4/E7/E8 and recovery scenarios.
+#: ``"random_tree"``
+#:     Same, but for a uniformly random spanning tree (seeded from
+#:     :attr:`MDSTConfig.seed`) -- coherent but typically far from optimal.
+#: ``"isolated"``
+#:     A clean cold start: every node is its own root with empty channels
+#:     and no knowledge of its neighbours.  This is a *reachable* initial
+#:     state (a just-booted network), not an adversarial one.
+#: ``"corrupted"``
+#:     The paper's arbitrary initial configuration: every variable of every
+#:     node is randomised and a fraction
+#:     (:attr:`MDSTConfig.corrupt_channel_fraction`) of the channels is
+#:     pre-loaded with garbage messages.  Convergence from here is the
+#:     self-stabilization claim proper (Definition 1, experiment E5).
 INITIAL_POLICIES = ("bfs_tree", "random_tree", "isolated", "corrupted")
 
 

@@ -2,6 +2,7 @@
 
 from .config import FULL_PROFILE, QUICK_PROFILE, ExperimentProfile, get_profile
 from .experiments import (
+    EXPERIMENTS,
     experiment_e1_degree_quality,
     experiment_e2_convergence,
     experiment_e3_memory,
@@ -12,7 +13,15 @@ from .experiments import (
     experiment_e8_improvement_cost,
     run_all_experiments,
 )
-from .runner import ProtocolRun, protocol_record, run_protocol_on, run_reference_on
+from .runner import (
+    ProtocolRun,
+    protocol_record,
+    run_protocol_on,
+    run_reference_on,
+    run_workload,
+    specs_for_workload,
+    workload_records,
+)
 from .workloads import (
     WorkloadInstance,
     baseline_workload,

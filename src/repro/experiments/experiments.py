@@ -1,37 +1,34 @@
-"""Experiment definitions E1-E8 (see DESIGN.md §3 and EXPERIMENTS.md).
+"""Experiment definitions E1-E8 (see docs/experiments.md).
 
 Each function runs one experiment over the given profile and returns an
 :class:`~repro.analysis.reporting.ExperimentReport` whose rows are the
 "table" that experiment regenerates.  The pytest benchmarks in
 ``benchmarks/`` call these functions with the ``quick`` profile and print the
-tables; EXPERIMENTS.md records representative output.
+tables.
+
+Since the runtime refactor every experiment **dispatches through the
+parallel sweep engine** (:class:`repro.runtime.SweepEngine`): it first
+expands its workload into a list of serializable
+:class:`~repro.runtime.spec.RunSpec`, then executes them with ``workers``
+processes (``workers=1``, the default, is the original serial path) and an
+optional on-disk :class:`~repro.runtime.cache.ResultCache`, and finally
+assembles the rows in deterministic workload order.  Results are therefore
+identical regardless of the worker count, and repeated invocations with a
+cache resolve without re-running simulations.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import networkx as nx
-import numpy as np
-
-from ..analysis.convergence import ConvergenceRecord, loglog_slope, paper_round_bound
-from ..analysis.memory import memory_report, message_bound_bits, state_bound_bits
-from ..analysis.metrics import evaluate_tree
+from ..analysis.convergence import loglog_slope, paper_round_bound
+from ..analysis.memory import message_bound_bits
 from ..analysis.reporting import ExperimentReport
-from ..baselines.blin_butelle import serialized_vs_concurrent_cost
-from ..baselines.exact import exact_mdst_degree
-from ..baselines.fuerer_raghavachari import fuerer_raghavachari
-from ..baselines.local_search import greedy_local_search
-from ..baselines.simple_trees import evaluate_simple_trees
-from ..core.improvement import improvement_possible
-from ..core.protocol import MDSTConfig, build_mdst_network, run_mdst
-from ..core.reference import ReferenceMDST
-from ..graphs.properties import is_hamiltonian_path_certificate, mdst_lower_bound
-from ..graphs.spanning import bfs_spanning_tree, tree_degree
-from ..sim.faults import FaultPlan
+from ..runtime.cache import ResultCache
+from ..runtime.engine import SweepEngine
+from ..runtime.spec import RunSpec
 from .config import ExperimentProfile, get_profile
 from .workloads import (
-    WorkloadInstance,
     baseline_workload,
     hub_workload,
     quality_workload,
@@ -40,6 +37,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "EXPERIMENTS",
     "experiment_e1_degree_quality",
     "experiment_e2_convergence",
     "experiment_e3_memory",
@@ -52,19 +50,17 @@ __all__ = [
 ]
 
 
-def _known_optimal(graph: nx.Graph, exact_limit: int = 12) -> Optional[int]:
-    """Δ* when cheaply available: exact solver (small n) or a certificate."""
-    cert = graph.graph.get("hamiltonian_path")
-    if cert and is_hamiltonian_path_certificate(graph, cert):
-        return 2
-    if graph.graph.get("family") == "two_hub":
-        # L leaves each adjacent to both hubs: any tree needs deg(a)+deg(b) >= L+1,
-        # and a balanced split achieves ceil((L+1)/2) = L//2 + 1.
-        leaves = graph.number_of_nodes() - 2
-        return leaves // 2 + 1
-    if graph.number_of_nodes() <= exact_limit:
-        return exact_mdst_degree(graph)
-    return None
+def _resolve(profile: ExperimentProfile | str) -> ExperimentProfile:
+    return get_profile(profile) if isinstance(profile, str) else profile
+
+
+def _engine(workers: int, cache: Optional[ResultCache]) -> SweepEngine:
+    return SweepEngine(workers=workers, cache=cache)
+
+
+def _pick(row: Dict[str, object], keys: Sequence[str]) -> Dict[str, object]:
+    """Project a task row onto the experiment's column set, in order."""
+    return {key: row[key] for key in keys if key in row}
 
 
 # ---------------------------------------------------------------------------
@@ -72,39 +68,27 @@ def _known_optimal(graph: nx.Graph, exact_limit: int = 12) -> Optional[int]:
 # ---------------------------------------------------------------------------
 
 def experiment_e1_degree_quality(profile: ExperimentProfile | str = "quick",
-                                 use_protocol: bool = True) -> ExperimentReport:
+                                 use_protocol: bool = True,
+                                 workers: int = 1,
+                                 cache: Optional[ResultCache] = None
+                                 ) -> ExperimentReport:
     """Final tree degree of the algorithm vs Δ* (exact or certified) and FR."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E1",
         description="Theorem 2: deg(T) <= Δ*+1 across graph families",
         metadata={"profile": profile.name},
     )
-    for instance in quality_workload(profile):
-        graph = instance.build()
-        optimal = _known_optimal(graph)
-        reference = ReferenceMDST(graph).run()
-        fr = fuerer_raghavachari(graph)
-        row: Dict[str, object] = {
-            "family": instance.family,
-            "n": graph.number_of_nodes(),
-            "m": graph.number_of_edges(),
-            "seed": instance.seed,
-            "optimal": optimal,
-            "lower_bound": mdst_lower_bound(graph),
-            "bfs_degree": tree_degree(graph.nodes, bfs_spanning_tree(graph)),
-            "reference_degree": reference.final_degree,
-            "fr_degree": fr.final_degree,
-        }
-        if use_protocol and graph.number_of_nodes() <= max(profile.protocol_sizes):
-            result = run_mdst(graph, MDSTConfig(seed=instance.seed,
-                                                max_rounds=profile.max_rounds))
-            row["protocol_degree"] = result.tree_degree
-            row["protocol_converged"] = result.converged
-        if optimal is not None:
-            achieved = row.get("protocol_degree", reference.final_degree)
-            row["within_one"] = achieved <= optimal + 1
-        report.add_row(**row)
+    protocol_cap = max(profile.protocol_sizes)
+    specs = [
+        RunSpec(task="quality", family=inst.family, n=inst.n, seed=inst.seed,
+                max_rounds=profile.max_rounds,
+                params=(("protocol_cap", protocol_cap),
+                        ("use_protocol", use_protocol)))
+        for inst in quality_workload(profile)
+    ]
+    for outcome in _engine(workers, cache).execute(specs):
+        report.add_row(**outcome.row)
     return report
 
 
@@ -112,32 +96,28 @@ def experiment_e1_degree_quality(profile: ExperimentProfile | str = "quick",
 # E2: Lemma 5 -- convergence rounds scale polynomially
 # ---------------------------------------------------------------------------
 
-def experiment_e2_convergence(profile: ExperimentProfile | str = "quick"
+def experiment_e2_convergence(profile: ExperimentProfile | str = "quick",
+                              workers: int = 1,
+                              cache: Optional[ResultCache] = None
                               ) -> ExperimentReport:
     """Convergence rounds / messages vs network size, against the paper bound."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E2",
         description="Lemma 5: convergence rounds vs n, m (paper bound m*n^2*log n)",
         metadata={"profile": profile.name},
     )
-    for instance in scaling_workload(profile):
-        graph = instance.build()
-        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="isolated",
-                                            max_rounds=profile.max_rounds))
-        rounds = result.run.extra.get("convergence_round") or result.rounds
-        report.add_row(
-            family=instance.family,
-            n=graph.number_of_nodes(),
-            m=graph.number_of_edges(),
-            seed=instance.seed,
-            converged=result.converged,
-            rounds=rounds,
-            messages=result.run.messages,
-            tree_degree=result.tree_degree,
-            paper_bound=int(paper_round_bound(graph.number_of_nodes(),
-                                              graph.number_of_edges())),
-        )
+    specs = [
+        RunSpec(task="protocol", family=inst.family, n=inst.n, seed=inst.seed,
+                initial="isolated", max_rounds=profile.max_rounds)
+        for inst in scaling_workload(profile)
+    ]
+    for outcome in _engine(workers, cache).execute(specs):
+        row = _pick(outcome.row, ("family", "n", "m", "seed", "converged",
+                                  "rounds", "messages", "tree_degree"))
+        row["paper_bound"] = int(paper_round_bound(int(outcome.row["n"]),
+                                                   int(outcome.row["m"])))
+        report.add_row(**row)
     # attach the empirical scaling exponent per family
     slopes: Dict[str, float] = {}
     for family, rows in report.group_by("family").items():
@@ -153,23 +133,23 @@ def experiment_e2_convergence(profile: ExperimentProfile | str = "quick"
 # E3: memory O(δ log n)
 # ---------------------------------------------------------------------------
 
-def experiment_e3_memory(profile: ExperimentProfile | str = "quick"
+def experiment_e3_memory(profile: ExperimentProfile | str = "quick",
+                         workers: int = 1,
+                         cache: Optional[ResultCache] = None
                          ) -> ExperimentReport:
     """Measured per-node state bits vs the O(δ log n) envelope."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E3",
         description="Lemma 5: per-node memory vs O(δ log n) bound",
         metadata={"profile": profile.name},
     )
-    for instance in scaling_workload(profile):
-        graph = instance.build()
-        network = build_mdst_network(graph, MDSTConfig(seed=instance.seed))
-        mem = memory_report(network)
-        row = mem.as_dict()
-        row["family"] = instance.family
-        row["seed"] = instance.seed
-        report.add_row(**row)
+    specs = [
+        RunSpec(task="memory", family=inst.family, n=inst.n, seed=inst.seed)
+        for inst in scaling_workload(profile)
+    ]
+    for outcome in _engine(workers, cache).execute(specs):
+        report.add_row(**outcome.row)
     return report
 
 
@@ -177,30 +157,34 @@ def experiment_e3_memory(profile: ExperimentProfile | str = "quick"
 # E4: message length O(n log n)
 # ---------------------------------------------------------------------------
 
-def experiment_e4_message_length(profile: ExperimentProfile | str = "quick"
+def experiment_e4_message_length(profile: ExperimentProfile | str = "quick",
+                                 workers: int = 1,
+                                 cache: Optional[ResultCache] = None
                                  ) -> ExperimentReport:
     """Largest message observed during a run vs the O(n log n) envelope."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E4",
         description="Message length vs O(n log n) bound",
         metadata={"profile": profile.name},
     )
-    for instance in scaling_workload(profile):
-        graph = instance.build()
-        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="bfs_tree",
-                                            max_rounds=profile.max_rounds))
-        n = graph.number_of_nodes()
+    specs = [
+        RunSpec(task="protocol", family=inst.family, n=inst.n, seed=inst.seed,
+                initial="bfs_tree", max_rounds=profile.max_rounds)
+        for inst in scaling_workload(profile)
+    ]
+    for outcome in _engine(workers, cache).execute(specs):
+        n = int(outcome.row["n"])
+        bits = int(outcome.row.get("max_message_bits", 0))
         report.add_row(
-            family=instance.family,
+            family=outcome.row["family"],
             n=n,
-            m=graph.number_of_edges(),
-            seed=instance.seed,
-            max_message_bits=result.run.extra.get("max_message_bits", 0),
+            m=outcome.row["m"],
+            seed=outcome.row["seed"],
+            max_message_bits=bits,
             bound_bits=message_bound_bits(n),
-            within_bound=(result.run.extra.get("max_message_bits", 0)
-                          <= message_bound_bits(n)),
-            converged=result.converged,
+            within_bound=bits <= message_bound_bits(n),
+            converged=outcome.row["converged"],
         )
     return report
 
@@ -209,49 +193,46 @@ def experiment_e4_message_length(profile: ExperimentProfile | str = "quick"
 # E5: self-stabilization -- convergence and recovery from arbitrary states
 # ---------------------------------------------------------------------------
 
-def experiment_e5_self_stabilization(profile: ExperimentProfile | str = "quick"
+def experiment_e5_self_stabilization(profile: ExperimentProfile | str = "quick",
+                                     workers: int = 1,
+                                     cache: Optional[ResultCache] = None
                                      ) -> ExperimentReport:
     """Convergence from corrupted states, under several schedulers, plus
     recovery after a mid-run transient fault."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E5",
         description="Definition 1: convergence + closure from arbitrary configurations",
         metadata={"profile": profile.name},
     )
+    specs: List[RunSpec] = []
+    modes: List[str] = []
     for instance in stabilization_workload(profile):
-        graph = instance.build()
         for scheduler in profile.schedulers:
             for initial in ("corrupted", "isolated"):
-                result = run_mdst(graph, MDSTConfig(
+                specs.append(RunSpec(
+                    task="protocol", family=instance.family, n=instance.n,
                     seed=instance.seed, scheduler=scheduler, initial=initial,
                     max_rounds=profile.max_rounds))
-                report.add_row(
-                    family=instance.family,
-                    n=graph.number_of_nodes(),
-                    scheduler=scheduler,
-                    initial=initial,
-                    mode="cold-start",
-                    converged=result.converged,
-                    rounds=result.run.extra.get("convergence_round") or result.rounds,
-                    closure_violations=len(result.report.closure_violations),
-                    tree_degree=result.tree_degree,
-                )
+                modes.append("cold-start")
         # recovery: converge first, then corrupt half the nodes mid-run
-        plan = FaultPlan().add(round_index=profile.max_rounds // 4, node_fraction=0.5)
-        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="bfs_tree",
-                                            max_rounds=profile.max_rounds),
-                          fault_plan=plan)
+        specs.append(RunSpec(
+            task="protocol", family=instance.family, n=instance.n,
+            seed=instance.seed, scheduler="synchronous", initial="bfs_tree",
+            max_rounds=profile.max_rounds,
+            fault_round=profile.max_rounds // 4, fault_fraction=0.5))
+        modes.append("mid-run-fault")
+    for outcome, mode in zip(_engine(workers, cache).execute(specs), modes):
         report.add_row(
-            family=instance.family,
-            n=graph.number_of_nodes(),
-            scheduler="synchronous",
-            initial="bfs_tree",
-            mode="mid-run-fault",
-            converged=result.converged,
-            rounds=result.run.extra.get("convergence_round") or result.rounds,
-            closure_violations=len(result.report.closure_violations),
-            tree_degree=result.tree_degree,
+            family=outcome.row["family"],
+            n=outcome.row["n"],
+            scheduler=outcome.row["scheduler"],
+            initial=outcome.row["initial"],
+            mode=mode,
+            converged=outcome.row["converged"],
+            rounds=outcome.row["rounds"],
+            closure_violations=outcome.row["closure_violations"],
+            tree_degree=outcome.row["tree_degree"],
         )
     return report
 
@@ -260,32 +241,23 @@ def experiment_e5_self_stabilization(profile: ExperimentProfile | str = "quick"
 # E6: degree of MDST vs naive spanning trees
 # ---------------------------------------------------------------------------
 
-def experiment_e6_baselines(profile: ExperimentProfile | str = "quick"
+def experiment_e6_baselines(profile: ExperimentProfile | str = "quick",
+                            workers: int = 1,
+                            cache: Optional[ResultCache] = None
                             ) -> ExperimentReport:
     """Maximum degree of BFS/DFS/MST/random trees vs the algorithm's tree."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E6",
         description="Motivation: naive tree degree vs MDST degree",
         metadata={"profile": profile.name},
     )
-    for instance in baseline_workload(profile):
-        graph = instance.build()
-        naive = evaluate_simple_trees(graph, seed=instance.seed)
-        reference = ReferenceMDST(graph).run()
-        local = greedy_local_search(graph)
-        row: Dict[str, object] = {
-            "family": instance.family,
-            "n": graph.number_of_nodes(),
-            "m": graph.number_of_edges(),
-            "seed": instance.seed,
-            "mdst_degree": reference.final_degree,
-            "local_search_degree": local.final_degree,
-            "lower_bound": mdst_lower_bound(graph),
-        }
-        for name, res in naive.items():
-            row[f"{name}_degree"] = res.degree
-        report.add_row(**row)
+    specs = [
+        RunSpec(task="baselines", family=inst.family, n=inst.n, seed=inst.seed)
+        for inst in baseline_workload(profile)
+    ]
+    for outcome in _engine(workers, cache).execute(specs):
+        report.add_row(**outcome.row)
     return report
 
 
@@ -294,41 +266,30 @@ def experiment_e6_baselines(profile: ExperimentProfile | str = "quick"
 # ---------------------------------------------------------------------------
 
 def experiment_e7_simultaneous_reduction(profile: ExperimentProfile | str = "quick",
-                                         hub_counts: Sequence[int] = (2, 3, 4)
+                                         hub_counts: Sequence[int] = (2, 3, 4),
+                                         workers: int = 1,
+                                         cache: Optional[ResultCache] = None
                                          ) -> ExperimentReport:
     """Cost of reducing several hubs: serialized model vs concurrent model vs
     the real message-passing protocol."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E7",
         description="Simultaneous degree reduction on multi-hub graphs (vs serialized)",
         metadata={"profile": profile.name},
     )
     seen: set[tuple] = set()
+    specs: List[RunSpec] = []
     for instance in hub_workload(profile, hub_counts=hub_counts):
         key = (instance.family, instance.n)
         if key in seen:
             continue
         seen.add(key)
-        graph = instance.build()
-        model = serialized_vs_concurrent_cost(graph)
-        result = run_mdst(graph, MDSTConfig(seed=instance.seed, initial="bfs_tree",
-                                            max_rounds=profile.max_rounds))
-        initial_deg = tree_degree(graph.nodes, bfs_spanning_tree(graph))
-        report.add_row(
-            hubs=instance.n // 5,
-            n=graph.number_of_nodes(),
-            m=graph.number_of_edges(),
-            initial_degree=initial_deg,
-            final_degree=model.final_degree,
-            swaps=model.swaps,
-            serialized_rounds=model.serialized_rounds,
-            concurrent_rounds=model.concurrent_rounds,
-            speedup=round(model.speedup, 2),
-            protocol_rounds=result.run.extra.get("convergence_round") or result.rounds,
-            protocol_degree=result.tree_degree,
-            protocol_converged=result.converged,
-        )
+        specs.append(RunSpec(
+            task="hub", family=instance.family, n=instance.n, seed=instance.seed,
+            initial="bfs_tree", max_rounds=profile.max_rounds))
+    for outcome in _engine(workers, cache).execute(specs):
+        report.add_row(**outcome.row)
     return report
 
 
@@ -337,49 +298,44 @@ def experiment_e7_simultaneous_reduction(profile: ExperimentProfile | str = "qui
 # ---------------------------------------------------------------------------
 
 def experiment_e8_improvement_cost(profile: ExperimentProfile | str = "quick",
-                                   cycle_lengths: Sequence[int] = (6, 10, 16)
+                                   cycle_lengths: Sequence[int] = (6, 10, 16),
+                                   workers: int = 1,
+                                   cache: Optional[ResultCache] = None
                                    ) -> ExperimentReport:
     """Rounds and messages needed for one improvement on a cycle + hub graph."""
-    profile = get_profile(profile) if isinstance(profile, str) else profile
+    profile = _resolve(profile)
     report = ExperimentReport(
         experiment="E8",
         description="Single improvement cost vs fundamental-cycle length (Figs 4-5)",
         metadata={"profile": profile.name},
     )
-    from ..graphs.generators import hard_hub_graph
-    for length in cycle_lengths:
-        graph = hard_hub_graph(length)
-        initial = bfs_spanning_tree(graph, root=0)
-        initial_degree = tree_degree(graph.nodes, initial)
-        result = run_mdst(graph, MDSTConfig(seed=7, initial="bfs_tree",
-                                            max_rounds=profile.max_rounds),
-                          initial_tree=initial)
-        by_type = result.run.extra.get("deliveries_by_type", {})
-        report.add_row(
-            hub_degree=length,
-            n=graph.number_of_nodes(),
-            initial_degree=initial_degree,
-            final_degree=result.tree_degree,
-            converged=result.converged,
-            rounds=result.run.extra.get("convergence_round") or result.rounds,
-            search_messages=by_type.get("Search", 0),
-            remove_messages=by_type.get("Remove", 0),
-            back_messages=by_type.get("Back", 0),
-            deblock_messages=by_type.get("Deblock", 0),
-        )
+    specs = [
+        RunSpec(task="improvement", family="hard_hub", n=length, seed=7,
+                initial="bfs_tree", max_rounds=profile.max_rounds,
+                params=(("hub_degree", length),))
+        for length in cycle_lengths
+    ]
+    for outcome in _engine(workers, cache).execute(specs):
+        report.add_row(**outcome.row)
     return report
 
 
-def run_all_experiments(profile: ExperimentProfile | str = "quick"
+EXPERIMENTS = {
+    "E1": experiment_e1_degree_quality,
+    "E2": experiment_e2_convergence,
+    "E3": experiment_e3_memory,
+    "E4": experiment_e4_message_length,
+    "E5": experiment_e5_self_stabilization,
+    "E6": experiment_e6_baselines,
+    "E7": experiment_e7_simultaneous_reduction,
+    "E8": experiment_e8_improvement_cost,
+}
+
+
+def run_all_experiments(profile: ExperimentProfile | str = "quick",
+                        workers: int = 1,
+                        cache: Optional[ResultCache] = None
                         ) -> Dict[str, ExperimentReport]:
     """Run every experiment and return the reports keyed by experiment id."""
-    return {
-        "E1": experiment_e1_degree_quality(profile),
-        "E2": experiment_e2_convergence(profile),
-        "E3": experiment_e3_memory(profile),
-        "E4": experiment_e4_message_length(profile),
-        "E5": experiment_e5_self_stabilization(profile),
-        "E6": experiment_e6_baselines(profile),
-        "E7": experiment_e7_simultaneous_reduction(profile),
-        "E8": experiment_e8_improvement_cost(profile),
-    }
+    return {exp_id: func(profile, workers=workers, cache=cache)
+            for exp_id, func in EXPERIMENTS.items()}

@@ -1,25 +1,38 @@
 """Sweep runner: execute the protocol / reference engine over workloads.
 
 The runner is a thin orchestration layer gluing together workload instances,
-protocol configurations and the analysis records; each experiment definition
-in :mod:`repro.experiments.experiments` composes these helpers.
+protocol configurations and the analysis records.  Batch execution
+dispatches through the parallel sweep engine
+(:class:`repro.runtime.SweepEngine`): :func:`run_workload` turns a list of
+:class:`~repro.experiments.workloads.WorkloadInstance` into
+:class:`~repro.runtime.spec.RunSpec` and fans them over worker processes
+(``workers=1`` keeps the historical serial path).  The single-instance
+helpers :func:`run_protocol_on` / :func:`run_reference_on` remain the
+in-process primitives -- they are what the engine's worker tasks ultimately
+call, and what interactive users reach for when they want live
+``MDSTResult`` objects rather than serialized records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 import networkx as nx
 
 from ..analysis.convergence import ConvergenceRecord
-from ..analysis.memory import MemoryReport, memory_report
-from ..core.protocol import MDSTConfig, MDSTResult, build_mdst_network, run_mdst
+from ..core.protocol import MDSTConfig, MDSTResult, run_mdst
 from ..core.reference import ReferenceMDST, ReferenceResult
 from ..graphs.spanning import bfs_spanning_tree
+from ..runtime.cache import ResultCache
+from ..runtime.engine import SweepEngine
+from ..runtime.spec import RunSpec
+from ..runtime.tasks import RunOutcome
 from .workloads import WorkloadInstance
 
-__all__ = ["ProtocolRun", "run_protocol_on", "run_reference_on", "protocol_record"]
+__all__ = ["ProtocolRun", "run_protocol_on", "run_reference_on",
+           "protocol_record", "specs_for_workload", "run_workload",
+           "workload_records"]
 
 
 @dataclass
@@ -55,7 +68,7 @@ def protocol_record(instance: WorkloadInstance, graph: nx.Graph,
 
 def run_protocol_on(instance: WorkloadInstance, config: Optional[MDSTConfig] = None,
                     graph: Optional[nx.Graph] = None) -> ProtocolRun:
-    """Run the message-passing protocol on one workload instance."""
+    """Run the message-passing protocol on one workload instance (in-process)."""
     graph = graph if graph is not None else instance.build()
     config = config or MDSTConfig(seed=instance.seed)
     result = run_mdst(graph, config)
@@ -64,8 +77,52 @@ def run_protocol_on(instance: WorkloadInstance, config: Optional[MDSTConfig] = N
 
 def run_reference_on(instance: WorkloadInstance, graph: Optional[nx.Graph] = None,
                      from_bfs: bool = True) -> tuple[nx.Graph, ReferenceResult]:
-    """Run the reference engine on one workload instance."""
+    """Run the reference engine on one workload instance (in-process)."""
     graph = graph if graph is not None else instance.build()
     initial = bfs_spanning_tree(graph) if from_bfs else None
     engine = ReferenceMDST(graph, initial_tree=initial)
     return graph, engine.run()
+
+
+# ---------------------------------------------------------------------------
+# Batch execution through the sweep engine
+# ---------------------------------------------------------------------------
+
+def specs_for_workload(instances: Iterable[WorkloadInstance],
+                       task: str = "protocol",
+                       scheduler: str = "synchronous",
+                       initial: str = "isolated",
+                       max_rounds: int = 5000) -> List[RunSpec]:
+    """Translate workload instances into engine run specs."""
+    return [RunSpec(task=task, family=inst.family, n=inst.n, seed=inst.seed,
+                    scheduler=scheduler, initial=initial, max_rounds=max_rounds)
+            for inst in instances]
+
+
+def run_workload(instances: Iterable[WorkloadInstance],
+                 task: str = "protocol",
+                 scheduler: str = "synchronous",
+                 initial: str = "isolated",
+                 max_rounds: int = 5000,
+                 workers: int = 1,
+                 cache: Optional[ResultCache] = None) -> List[RunOutcome]:
+    """Run a whole workload through the sweep engine.
+
+    ``workers=1`` executes serially in-process (the historical behaviour);
+    larger values fan the instances across a process pool.  Results come
+    back in workload order either way.
+    """
+    engine = SweepEngine(workers=workers, cache=cache)
+    return engine.execute(specs_for_workload(
+        instances, task=task, scheduler=scheduler, initial=initial,
+        max_rounds=max_rounds))
+
+
+def workload_records(instances: Iterable[WorkloadInstance],
+                     workers: int = 1,
+                     cache: Optional[ResultCache] = None,
+                     **spec_kwargs) -> List[ConvergenceRecord]:
+    """Convergence records for a protocol sweep over ``instances``."""
+    outcomes = run_workload(instances, workers=workers, cache=cache,
+                            **spec_kwargs)
+    return [o.record for o in outcomes if o.record is not None]

@@ -1,0 +1,41 @@
+"""Parallel execution runtime: run specs, worker tasks, caching, sweeps, CLI.
+
+This package is the batch-execution layer of the reproduction.  The design
+splits "what to run" from "how to run it":
+
+* :mod:`repro.runtime.spec` -- :class:`RunSpec` (one serializable unit of
+  work) and :class:`SweepSpec` (a ``family x size x seed x scheduler x
+  initial`` matrix with deterministic seed derivation);
+* :mod:`repro.runtime.tasks` -- the registry of picklable task functions
+  executed inside worker processes (protocol runs, reference engine,
+  memory accounting, and the E1-E8 composite measurements);
+* :mod:`repro.runtime.cache` -- on-disk JSON result cache keyed by the
+  spec hash, making repeated sweeps incremental;
+* :mod:`repro.runtime.engine` -- :class:`SweepEngine`, fanning specs over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``workers=1`` is the
+  serial fallback) and merging results back in deterministic order;
+* :mod:`repro.runtime.cli` -- the ``repro`` command-line interface
+  (``repro run | sweep | bench | report``).
+"""
+
+from .cache import CacheStats, ResultCache
+from .engine import EngineStats, SweepEngine, default_workers, run_sweep
+from .spec import CACHE_SCHEMA_VERSION, RunSpec, SweepSpec, spec_key
+from .tasks import TASKS, RunOutcome, execute_spec, task_names
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "EngineStats",
+    "ResultCache",
+    "RunOutcome",
+    "RunSpec",
+    "SweepEngine",
+    "SweepSpec",
+    "TASKS",
+    "default_workers",
+    "execute_spec",
+    "run_sweep",
+    "spec_key",
+    "task_names",
+]

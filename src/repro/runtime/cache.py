@@ -1,0 +1,109 @@
+"""On-disk JSON result cache keyed by the run-spec content hash.
+
+The cache makes sweeps *incremental*: re-running a sweep only executes the
+specs whose hash (see :func:`repro.runtime.spec.spec_key`) has no entry yet.
+Any change to a spec field -- a different seed, scheduler, round budget, or
+task parameter -- produces a different key and therefore a miss, while a
+bump of :data:`~repro.runtime.spec.CACHE_SCHEMA_VERSION` (done whenever the
+simulator semantics change) invalidates everything at once.
+
+Entries are one pretty-printed JSON file per result under the cache root,
+``<root>/<first 2 hex chars>/<key>.json``, so a cache directory stays
+human-inspectable and individual entries can be deleted by hand.  Writes go
+through a temporary file + ``os.replace`` so a crashed worker never leaves a
+truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .spec import RunSpec, spec_key
+from .tasks import RunOutcome
+
+__all__ = ["ResultCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters accumulated over the lifetime of a cache object."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+class ResultCache:
+    """A directory of cached :class:`RunOutcome` entries."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        key = spec_key(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunOutcome]:
+        """The cached outcome for ``spec``, or ``None`` on a miss.
+
+        Unreadable / corrupt entries count as misses and are ignored (they
+        get overwritten by the next :meth:`put`).
+        """
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            outcome = RunOutcome.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        outcome.from_cache = True
+        self.stats.hits += 1
+        return outcome
+
+    def put(self, outcome: RunOutcome) -> Path:
+        """Persist one outcome; returns the entry path."""
+        path = self.path_for(outcome.spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # no sort_keys: row key order is the experiment's column order and
+        # must survive the cache round-trip byte-for-byte.  The temp name is
+        # unique per writer so concurrent processes sharing a cache dir
+        # cannot interleave into one file; last os.replace wins atomically.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(outcome.to_dict(), indent=2,
+                                        default=str))
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def entries(self) -> Iterator[Path]:
+        """All entry files currently in the cache."""
+        return self.root.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,269 @@
+"""``repro`` -- command-line interface to the reproduction.
+
+Four subcommands, all thin wrappers over :mod:`repro.runtime`:
+
+``repro run``
+    One protocol run on one graph instance; prints the result row.
+``repro sweep``
+    A ``family x size x seed x scheduler x initial`` matrix executed by the
+    parallel sweep engine, with optional on-disk caching and JSON export.
+``repro bench``
+    The paper's experiments E1-E8 on a named profile, optionally in
+    parallel, with tables printed and optionally saved.
+``repro report``
+    Re-render previously saved report JSON (tables, CSV, aggregates).
+
+The module doubles as an executable (``python -m repro.runtime.cli``) and
+is installed as the ``repro`` console script by ``setup.py``.  All data
+output goes to stdout; progress/statistics go to stderr so output files and
+pipes stay clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..analysis.convergence import aggregate_records
+from ..analysis.reporting import ExperimentReport
+from ..analysis.tables import format_table
+from ..exceptions import ReproError
+from .cache import ResultCache
+from .engine import SweepEngine, default_workers
+from .spec import RunSpec, SweepSpec
+from .tasks import execute_spec, task_names
+
+__all__ = ["main", "build_parser"]
+
+#: Default columns shown by ``repro sweep`` for protocol-style rows (the
+#: full row, including message histograms, is always in the JSON export).
+SWEEP_COLUMNS = ("family", "n", "m", "seed", "scheduler", "initial",
+                 "converged", "rounds", "messages", "tree_degree")
+
+EXPERIMENT_IDS = ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8")
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(item) for item in _csv(text)]
+
+
+def _status(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        task=args.task,
+        family=args.family,
+        n=args.n,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        initial=args.initial,
+        max_rounds=args.max_rounds,
+    )
+    outcome = execute_spec(spec)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True, default=str))
+    else:
+        print(format_table([outcome.row], title=spec.label))
+    return 0
+
+
+def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
+    return SweepSpec(
+        families=tuple(args.families),
+        sizes=tuple(args.sizes),
+        repetitions=args.repetitions,
+        master_seed=args.master_seed,
+        seeds=tuple(args.seeds) if args.seeds else None,
+        schedulers=tuple(args.schedulers),
+        initials=tuple(args.initials),
+        max_rounds=args.max_rounds,
+        task=args.task,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = _sweep_from_args(args)
+    specs = sweep.expand()
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    engine = SweepEngine(workers=args.workers, cache=cache)
+    _status(f"sweep: {len(specs)} runs, {args.workers} worker(s)"
+            + (f", cache at {args.cache_dir}" if args.cache_dir else ""))
+    outcomes = engine.execute(specs)
+    report = ExperimentReport(
+        experiment="sweep",
+        description=f"{sweep.task} sweep over {'/'.join(sweep.families)}")
+    for outcome in outcomes:
+        report.add_row(**outcome.row)
+    stats = engine.last_stats
+    _status(f"sweep: executed {stats.executed}, cache hits {stats.cache_hits}, "
+            f"{stats.elapsed_s:.2f}s")
+    columns = args.columns or (list(SWEEP_COLUMNS)
+                               if sweep.task == "protocol" else None)
+    if args.csv:
+        print(report.to_csv(columns=columns))
+    else:
+        print(report.to_table(columns=columns))
+        records = [o.record for o in outcomes if o.record]
+        if records:
+            print("aggregate: "
+                  + json.dumps(aggregate_records(records), sort_keys=True))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json(), encoding="utf-8")
+        _status(f"sweep: report written to {path}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from ..experiments.experiments import EXPERIMENTS, run_all_experiments
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    wanted = [e.upper() for e in args.experiments] if args.experiments else list(EXPERIMENT_IDS)
+    unknown = sorted(set(wanted) - set(EXPERIMENT_IDS))
+    if unknown:
+        raise ReproError(f"unknown experiments {unknown}; known: {list(EXPERIMENT_IDS)}")
+    reports = {}
+    for exp_id in wanted:
+        _status(f"bench: running {exp_id} on profile {args.profile!r} "
+                f"with {args.workers} worker(s)")
+        reports[exp_id] = EXPERIMENTS[exp_id](args.profile, workers=args.workers,
+                                              cache=cache)
+    for exp_id, report in reports.items():
+        print(report.to_table())
+        print()
+    if args.output_dir:
+        out = Path(args.output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for exp_id, report in reports.items():
+            report.save(out / f"{exp_id}.json")
+        _status(f"bench: {len(reports)} report(s) written to {out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    for path in args.paths:
+        try:
+            report = ExperimentReport.load(path)
+        except (OSError, ValueError, KeyError) as exc:
+            # malformed JSON (ValueError) or JSON that is not a report
+            # (KeyError on the required keys)
+            _status(f"error: cannot load report {path}: {exc!r}")
+            return 1
+        if args.group_by and args.value:
+            aggregates = report.aggregate(args.group_by, args.value)
+            print(format_table(
+                [{args.group_by: k, f"mean_{args.value}": round(v, 3)}
+                 for k, v in aggregates.items()],
+                title=f"[{report.experiment}] mean {args.value} by {args.group_by}"))
+        elif args.csv:
+            print(report.to_csv(columns=args.columns))
+        else:
+            print(report.to_table(columns=args.columns))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing MDST reproduction: runs, sweeps, "
+                    "benchmarks and reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the protocol once on one graph")
+    run.add_argument("--family", default="erdos_renyi_sparse",
+                     help="graph family (see repro.graphs.generators)")
+    run.add_argument("--n", type=int, default=16, help="target node count")
+    run.add_argument("--seed", type=int, default=1, help="graph + run seed")
+    run.add_argument("--scheduler", default="synchronous",
+                     choices=("synchronous", "random", "adversarial"))
+    run.add_argument("--initial", default="isolated",
+                     choices=("bfs_tree", "random_tree", "isolated", "corrupted"))
+    run.add_argument("--max-rounds", type=int, default=5000)
+    run.add_argument("--task", default="protocol", choices=task_names())
+    run.add_argument("--json", action="store_true",
+                     help="print the full outcome as JSON instead of a table")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run a matrix of configurations in parallel")
+    sweep.add_argument("--families", type=_csv, default=["erdos_renyi_sparse"],
+                       help="comma-separated graph families")
+    sweep.add_argument("--sizes", type=_csv_ints, default=[12, 16],
+                       help="comma-separated node counts")
+    sweep.add_argument("--repetitions", type=int, default=1)
+    sweep.add_argument("--master-seed", type=int, default=0,
+                       help="per-repetition seeds are derived from this")
+    sweep.add_argument("--seeds", type=_csv_ints, default=None,
+                       help="explicit comma-separated seeds (overrides derivation)")
+    sweep.add_argument("--schedulers", type=_csv, default=["synchronous"])
+    sweep.add_argument("--initials", type=_csv, default=["isolated"])
+    sweep.add_argument("--max-rounds", type=int, default=5000)
+    sweep.add_argument("--task", default="protocol", choices=task_names())
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial fallback; "
+                            f"this machine's default would be {default_workers()})")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache; re-runs become incremental")
+    sweep.add_argument("--output", default=None, help="write the report JSON here")
+    sweep.add_argument("--columns", type=_csv, default=None,
+                       help="columns to print (default: protocol summary)")
+    sweep.add_argument("--csv", action="store_true", help="print CSV instead of a table")
+    sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser("bench", help="run the paper's experiments E1-E8")
+    bench.add_argument("--experiments", type=_csv, default=None,
+                       help="comma-separated subset, e.g. E2,E4 (default: all)")
+    bench.add_argument("--profile", default="quick", choices=("quick", "full"),
+                       help="experiment scale profile")
+    bench.add_argument("--workers", type=int, default=1)
+    bench.add_argument("--cache-dir", default=None)
+    bench.add_argument("--output-dir", default=None,
+                       help="directory for per-experiment report JSON")
+    bench.set_defaults(func=cmd_bench)
+
+    report = sub.add_parser("report", help="re-render saved report JSON")
+    report.add_argument("paths", nargs="+", help="report JSON file(s)")
+    report.add_argument("--columns", type=_csv, default=None)
+    report.add_argument("--csv", action="store_true")
+    report.add_argument("--group-by", default=None,
+                        help="aggregate: group rows by this column")
+    report.add_argument("--value", default=None,
+                        help="aggregate: mean of this column per group")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        _status(f"error: {exc}")
+        return 1
+    except OSError as exc:
+        _status(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Run and sweep specifications for the parallel execution engine.
+
+A :class:`RunSpec` is a *fully serializable* description of one unit of
+work: which task to perform (see :mod:`repro.runtime.tasks`), on which
+workload instance ``(family, n, seed)``, and under which protocol
+configuration.  Because a spec is a frozen dataclass of primitives it can be
+
+* pickled across process boundaries (the sweep engine ships specs, not
+  graphs or networks, to its workers),
+* hashed into a stable cache key (:func:`spec_key`) so results persist on
+  disk and re-runs are incremental,
+* reconstructed from JSON (:meth:`RunSpec.from_dict`) by the CLI and the
+  report loader.
+
+A :class:`SweepSpec` describes a *matrix* of runs -- the cartesian product
+``workload family x size x seed x scheduler x initial configuration`` -- and
+expands it into an ordered list of :class:`RunSpec`.  Per-repetition seeds
+are derived deterministically from a single master seed through
+:func:`repro.sim.rng.derive_seed`, so adding repetitions never changes the
+seeds of existing runs and the expansion is reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.protocol import MDSTConfig
+from ..exceptions import ConfigurationError
+from ..graphs.generators import make_graph
+from ..sim.rng import derive_seed
+
+__all__ = ["RunSpec", "SweepSpec", "spec_key", "CACHE_SCHEMA_VERSION"]
+
+#: Bumped whenever the result schema or the simulation semantics change in a
+#: way that invalidates previously cached outcomes.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One unit of work for the sweep engine.
+
+    Attributes
+    ----------
+    task:
+        Name of the task in :data:`repro.runtime.tasks.TASKS` that executes
+        this spec (``"protocol"``, ``"reference"``, ``"memory"``, ...).
+    family, n, seed:
+        The workload instance: graph family name (see
+        :data:`repro.graphs.generators.GRAPH_FAMILIES`), target node count
+        and generator seed.  ``seed`` also seeds the protocol run.
+    scheduler, initial, max_rounds, stability_window, enable_reduction:
+        Protocol configuration forwarded to :class:`repro.core.MDSTConfig`.
+    fault_round, fault_fraction:
+        When ``fault_round`` is set, a transient fault corrupting
+        ``fault_fraction`` of the nodes is injected after that round
+        (used by the self-stabilization experiments).
+    params:
+        Task-specific extras as a sorted tuple of ``(key, value)`` pairs so
+        the spec stays hashable; use :meth:`param` to read them.
+    """
+
+    task: str = "protocol"
+    family: str = "erdos_renyi_sparse"
+    n: int = 16
+    seed: int = 0
+    scheduler: str = "synchronous"
+    initial: str = "isolated"
+    max_rounds: int = 5000
+    stability_window: int = 5
+    enable_reduction: bool = True
+    fault_round: Optional[int] = None
+    fault_fraction: float = 0.5
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    # -- derived views ---------------------------------------------------------
+
+    def build_graph(self) -> nx.Graph:
+        """Instantiate the workload graph ``(family, n, seed)``.
+
+        Equivalent to ``WorkloadInstance(family, n, seed).build()``; the
+        runtime layer goes straight to the generator registry so it stays
+        below :mod:`repro.experiments` in the import graph.
+        """
+        return make_graph(self.family, self.n, seed=self.seed)
+
+    @property
+    def label(self) -> str:
+        return f"{self.task}:{self.family}-n{self.n}-s{self.seed}-{self.scheduler}-{self.initial}"
+
+    def param(self, key: str, default: object = None) -> object:
+        """Read a task-specific parameter from :attr:`params`."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def with_params(self, **extras: object) -> "RunSpec":
+        """A copy of this spec with additional task parameters merged in."""
+        merged = dict(self.params)
+        merged.update(extras)
+        return replace(self, params=tuple(sorted(merged.items())))
+
+    def mdst_config(self) -> MDSTConfig:
+        """The :class:`~repro.core.MDSTConfig` equivalent of this spec."""
+        return MDSTConfig(
+            scheduler=self.scheduler,
+            seed=self.seed,
+            initial=self.initial,
+            max_rounds=self.max_rounds,
+            stability_window=self.stability_window,
+            enable_reduction=self.enable_reduction,
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task": self.task,
+            "family": self.family,
+            "n": self.n,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "initial": self.initial,
+            "max_rounds": self.max_rounds,
+            "stability_window": self.stability_window,
+            "enable_reduction": self.enable_reduction,
+            "fault_round": self.fault_round,
+            "fault_fraction": self.fault_fraction,
+            "params": [list(item) for item in self.params],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RunSpec":
+        known = {f.name for f in fields(RunSpec)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown RunSpec fields: {sorted(unknown)}")
+        payload = dict(data)
+        params = payload.pop("params", ())
+        spec = RunSpec(**payload)  # type: ignore[arg-type]
+        return replace(spec, params=tuple((str(k), v) for k, v in params))
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content hash of a spec, used as the on-disk cache key.
+
+    The digest covers every configuration field (via canonical JSON with
+    sorted keys) plus :data:`CACHE_SCHEMA_VERSION`, so *any* change to the
+    run configuration -- or a bump of the schema version after a semantic
+    change to the simulator -- invalidates the cached entry.
+    """
+    payload = spec.to_dict()
+    payload["__schema__"] = CACHE_SCHEMA_VERSION
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A matrix of runs: ``family x size x repetition x scheduler x initial``.
+
+    Seeds: if :attr:`seeds` is given, repetition ``r`` uses
+    ``seeds[r % len(seeds)]`` (mirroring
+    :meth:`repro.experiments.config.ExperimentProfile.seed_for`); otherwise
+    the seed of repetition ``r`` is ``derive_seed(master_seed, r)``, an
+    independent 31-bit stream from :mod:`repro.sim.rng`.
+    """
+
+    families: Tuple[str, ...] = ("erdos_renyi_sparse",)
+    sizes: Tuple[int, ...] = (16,)
+    repetitions: int = 1
+    master_seed: int = 0
+    seeds: Optional[Tuple[int, ...]] = None
+    schedulers: Tuple[str, ...] = ("synchronous",)
+    initials: Tuple[str, ...] = ("isolated",)
+    max_rounds: int = 5000
+    task: str = "protocol"
+
+    def seed_for(self, repetition: int) -> int:
+        if self.seeds:
+            return self.seeds[repetition % len(self.seeds)]
+        return derive_seed(self.master_seed, repetition)
+
+    def expand(self) -> List[RunSpec]:
+        """The ordered list of runs in the matrix.
+
+        The order (repetition, family, size, scheduler, initial) is part of
+        the engine's contract: results are always returned in expansion
+        order regardless of worker count, which is what makes ``--workers N``
+        output byte-identical to the serial run.
+        """
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        if not self.families or not self.sizes:
+            raise ConfigurationError("sweep needs at least one family and one size")
+        specs: List[RunSpec] = []
+        for rep in range(self.repetitions):
+            seed = self.seed_for(rep)
+            for family in self.families:
+                for n in self.sizes:
+                    for scheduler in self.schedulers:
+                        for initial in self.initials:
+                            specs.append(RunSpec(
+                                task=self.task,
+                                family=family,
+                                n=n,
+                                seed=seed,
+                                scheduler=scheduler,
+                                initial=initial,
+                                max_rounds=self.max_rounds,
+                            ))
+        return specs

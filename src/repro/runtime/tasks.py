@@ -1,0 +1,312 @@
+"""Task registry: the functions the sweep engine executes in worker processes.
+
+Every task is a **module-level** function ``(RunSpec) -> RunOutcome`` so it
+can be pickled by :class:`concurrent.futures.ProcessPoolExecutor`.  A task
+receives only the spec -- it builds the graph itself from
+``(family, n, seed)`` -- and returns a :class:`RunOutcome` whose ``row`` is a
+plain JSON-serializable dict ready to be appended to an
+:class:`~repro.analysis.reporting.ExperimentReport`.
+
+The registry covers every kind of measurement the E1-E8 experiments need:
+
+=============  ==============================================================
+``protocol``   one :func:`~repro.core.protocol.run_mdst` execution
+               (E2, E4, E5 and the generic ``repro run`` / ``repro sweep``)
+``reference``  the centralized reference engine (sanity sweeps)
+``memory``     per-node state accounting without running the protocol (E3)
+``quality``    exact/certified optimum + reference + FR + optional protocol
+               degree on one instance (E1)
+``baselines``  naive spanning trees vs reference vs local search (E6)
+``hub``        serialized-vs-concurrent reduction model + protocol (E7)
+``improvement`` single-improvement micro-benchmark on a hard-hub graph (E8)
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..analysis.convergence import ConvergenceRecord
+from ..analysis.memory import memory_report
+from ..baselines.blin_butelle import serialized_vs_concurrent_cost
+from ..baselines.exact import exact_mdst_degree
+from ..baselines.fuerer_raghavachari import fuerer_raghavachari
+from ..baselines.local_search import greedy_local_search
+from ..baselines.simple_trees import evaluate_simple_trees
+from ..core.protocol import MDSTResult, build_mdst_network, run_mdst
+from ..core.reference import ReferenceMDST
+from ..exceptions import ConfigurationError
+from ..graphs.generators import hard_hub_graph
+from ..graphs.properties import is_hamiltonian_path_certificate, mdst_lower_bound
+from ..graphs.spanning import bfs_spanning_tree, tree_degree
+from ..sim.faults import FaultPlan
+from .spec import RunSpec
+
+__all__ = ["RunOutcome", "TASKS", "execute_spec", "task_names"]
+
+
+@dataclass
+class RunOutcome:
+    """The result of executing one :class:`RunSpec`.
+
+    ``row`` is the experiment-facing view (a flat dict of JSON-friendly
+    values); ``record`` is additionally populated by protocol-style tasks so
+    outcomes can flow into the :class:`ConvergenceRecord` aggregation
+    pipeline.  ``from_cache`` is transport metadata set by the engine, never
+    persisted.
+    """
+
+    spec: RunSpec
+    row: Dict[str, object]
+    record: Optional[ConvergenceRecord] = None
+    from_cache: bool = field(default=False, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "row": self.row,
+            "record": dataclasses.asdict(self.record) if self.record else None,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RunOutcome":
+        record = data.get("record")
+        return RunOutcome(
+            spec=RunSpec.from_dict(data["spec"]),  # type: ignore[arg-type]
+            row=dict(data["row"]),  # type: ignore[arg-type]
+            record=ConvergenceRecord(**record) if record else None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by the tasks
+# ---------------------------------------------------------------------------
+
+def _fault_plan(spec: RunSpec) -> Optional[FaultPlan]:
+    if spec.fault_round is None:
+        return None
+    return FaultPlan().add(round_index=spec.fault_round,
+                           node_fraction=spec.fault_fraction)
+
+
+def _record_for(spec: RunSpec, graph, result: MDSTResult) -> ConvergenceRecord:
+    return ConvergenceRecord(
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        rounds=result.run.rounds,
+        convergence_round=result.run.extra.get("convergence_round"),
+        steps=result.run.steps,
+        messages=result.run.messages,
+        converged=result.run.converged,
+        tree_degree=result.run.tree_degree,
+        seed=spec.seed,
+        family=spec.family,
+        scheduler=spec.scheduler,
+    )
+
+
+def _known_optimal(graph, exact_limit: int = 12) -> Optional[int]:
+    """Δ* when cheaply available: a certificate or the exact solver (small n)."""
+    cert = graph.graph.get("hamiltonian_path")
+    if cert and is_hamiltonian_path_certificate(graph, cert):
+        return 2
+    if graph.graph.get("family") == "two_hub":
+        # L leaves each adjacent to both hubs: any tree needs deg(a)+deg(b) >= L+1,
+        # and a balanced split achieves ceil((L+1)/2) = L//2 + 1.
+        leaves = graph.number_of_nodes() - 2
+        return leaves // 2 + 1
+    if graph.number_of_nodes() <= exact_limit:
+        return exact_mdst_degree(graph)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Tasks
+# ---------------------------------------------------------------------------
+
+def run_protocol_task(spec: RunSpec) -> RunOutcome:
+    """One full protocol execution; the workhorse of E2/E4/E5 and the CLI."""
+    graph = spec.build_graph()
+    result = run_mdst(graph, spec.mdst_config(), fault_plan=_fault_plan(spec))
+    record = _record_for(spec, graph, result)
+    convergence_round = result.run.extra.get("convergence_round")
+    row: Dict[str, object] = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "scheduler": spec.scheduler,
+        "initial": spec.initial,
+        "converged": result.converged,
+        "rounds": convergence_round or result.rounds,
+        "total_rounds": result.rounds,
+        "steps": result.run.steps,
+        "messages": result.run.messages,
+        "tree_degree": result.tree_degree,
+        "closure_violations": len(result.report.closure_violations),
+        "max_message_bits": result.run.extra.get("max_message_bits", 0),
+        "deliveries_by_type": result.run.extra.get("deliveries_by_type", {}),
+    }
+    return RunOutcome(spec=spec, row=row, record=record)
+
+
+def run_reference_task(spec: RunSpec) -> RunOutcome:
+    """Centralized reference engine on one instance (no message passing)."""
+    graph = spec.build_graph()
+    initial = bfs_spanning_tree(graph)
+    result = ReferenceMDST(graph, initial_tree=initial).run()
+    row = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "bfs_degree": tree_degree(graph.nodes, initial),
+        "reference_degree": result.final_degree,
+        "lower_bound": mdst_lower_bound(graph),
+    }
+    return RunOutcome(spec=spec, row=row)
+
+
+def run_memory_task(spec: RunSpec) -> RunOutcome:
+    """Per-node state accounting vs the O(δ log n) envelope (E3)."""
+    graph = spec.build_graph()
+    network = build_mdst_network(graph, spec.mdst_config())
+    row = memory_report(network).as_dict()
+    row["family"] = spec.family
+    row["seed"] = spec.seed
+    return RunOutcome(spec=spec, row=row)
+
+
+def run_quality_task(spec: RunSpec) -> RunOutcome:
+    """Degree quality of one instance vs Δ* and Fürer–Raghavachari (E1).
+
+    Params: ``use_protocol`` (bool) and ``protocol_cap`` (max n for which the
+    message-passing protocol is also run).
+    """
+    graph = spec.build_graph()
+    optimal = _known_optimal(graph)
+    reference = ReferenceMDST(graph).run()
+    fr = fuerer_raghavachari(graph)
+    row: Dict[str, object] = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "optimal": optimal,
+        "lower_bound": mdst_lower_bound(graph),
+        "bfs_degree": tree_degree(graph.nodes, bfs_spanning_tree(graph)),
+        "reference_degree": reference.final_degree,
+        "fr_degree": fr.final_degree,
+    }
+    record: Optional[ConvergenceRecord] = None
+    use_protocol = bool(spec.param("use_protocol", True))
+    # default cap = this graph's size, so a bare spec (e.g. from the CLI)
+    # runs the protocol; E1 passes the profile's cap explicitly
+    protocol_cap = int(spec.param("protocol_cap", graph.number_of_nodes()))
+    if use_protocol and graph.number_of_nodes() <= protocol_cap:
+        result = run_mdst(graph, spec.mdst_config())
+        row["protocol_degree"] = result.tree_degree
+        row["protocol_converged"] = result.converged
+        record = _record_for(spec, graph, result)
+    if optimal is not None:
+        achieved = row.get("protocol_degree", reference.final_degree)
+        row["within_one"] = achieved <= optimal + 1
+    return RunOutcome(spec=spec, row=row, record=record)
+
+
+def run_baselines_task(spec: RunSpec) -> RunOutcome:
+    """Naive spanning trees vs reference MDST vs local search (E6)."""
+    graph = spec.build_graph()
+    naive = evaluate_simple_trees(graph, seed=spec.seed)
+    reference = ReferenceMDST(graph).run()
+    local = greedy_local_search(graph)
+    row: Dict[str, object] = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "mdst_degree": reference.final_degree,
+        "local_search_degree": local.final_degree,
+        "lower_bound": mdst_lower_bound(graph),
+    }
+    for name, res in naive.items():
+        row[f"{name}_degree"] = res.degree
+    return RunOutcome(spec=spec, row=row)
+
+
+def run_hub_task(spec: RunSpec) -> RunOutcome:
+    """Serialized vs concurrent multi-hub reduction plus the real protocol (E7)."""
+    graph = spec.build_graph()
+    model = serialized_vs_concurrent_cost(graph)
+    result = run_mdst(graph, spec.mdst_config())
+    initial_deg = tree_degree(graph.nodes, bfs_spanning_tree(graph))
+    row = {
+        "hubs": spec.n // 5,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "initial_degree": initial_deg,
+        "final_degree": model.final_degree,
+        "swaps": model.swaps,
+        "serialized_rounds": model.serialized_rounds,
+        "concurrent_rounds": model.concurrent_rounds,
+        "speedup": round(model.speedup, 2),
+        "protocol_rounds": result.run.extra.get("convergence_round") or result.rounds,
+        "protocol_degree": result.tree_degree,
+        "protocol_converged": result.converged,
+    }
+    return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
+
+
+def run_improvement_task(spec: RunSpec) -> RunOutcome:
+    """Cost of a single improvement on a hard-hub graph (E8, Figs 4-5).
+
+    Params: ``hub_degree`` -- the fundamental-cycle length of the
+    :func:`~repro.graphs.generators.hard_hub_graph` instance.
+    """
+    length = int(spec.param("hub_degree", spec.n))
+    graph = hard_hub_graph(length)
+    initial = bfs_spanning_tree(graph, root=0)
+    initial_degree = tree_degree(graph.nodes, initial)
+    result = run_mdst(graph, spec.mdst_config(), initial_tree=initial)
+    by_type = result.run.extra.get("deliveries_by_type", {})
+    row = {
+        "hub_degree": length,
+        "n": graph.number_of_nodes(),
+        "initial_degree": initial_degree,
+        "final_degree": result.tree_degree,
+        "converged": result.converged,
+        "rounds": result.run.extra.get("convergence_round") or result.rounds,
+        "search_messages": by_type.get("Search", 0),
+        "remove_messages": by_type.get("Remove", 0),
+        "back_messages": by_type.get("Back", 0),
+        "deblock_messages": by_type.get("Deblock", 0),
+    }
+    return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
+
+
+TASKS: Dict[str, Callable[[RunSpec], RunOutcome]] = {
+    "protocol": run_protocol_task,
+    "reference": run_reference_task,
+    "memory": run_memory_task,
+    "quality": run_quality_task,
+    "baselines": run_baselines_task,
+    "hub": run_hub_task,
+    "improvement": run_improvement_task,
+}
+
+
+def task_names() -> list:
+    """Sorted names of the registered tasks."""
+    return sorted(TASKS)
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Execute one spec in the current process (the worker entry point)."""
+    try:
+        task = TASKS[spec.task]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown task {spec.task!r}; known: {task_names()}") from exc
+    return task(spec)

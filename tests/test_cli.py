@@ -1,0 +1,114 @@
+"""Smoke tests for the ``repro`` CLI.
+
+Most cases drive :func:`repro.runtime.cli.main` in-process with an explicit
+``argv`` (fast, assertable); one case goes through a real subprocess to
+prove ``python -m repro.runtime.cli`` works as installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cli import build_parser, main
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+SWEEP_ARGS = ["sweep", "--families", "wheel", "--sizes", "8",
+              "--repetitions", "2", "--master-seed", "7",
+              "--max-rounds", "2000"]
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+    assert set(actions[0].choices) == {"run", "sweep", "bench", "report"}
+
+
+def test_run_prints_result_table(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8", "--seed", "3",
+                 "--max-rounds", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "tree_degree" in out and "wheel" in out
+
+
+def test_run_json_output_is_parseable(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8", "--seed", "3",
+                 "--max-rounds", "2000", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["spec"]["family"] == "wheel"
+    assert data["row"]["converged"] is True
+
+
+def test_sweep_workers_byte_identical_and_cache_short_circuits(tmp_path, capsys):
+    """The acceptance criterion: N workers == 1 worker byte-for-byte, and a
+    repeat invocation completes from cache without re-running simulations."""
+    out1, out4 = tmp_path / "w1.json", tmp_path / "w4.json"
+    cache_dir = str(tmp_path / "cache")
+    assert main(SWEEP_ARGS + ["--workers", "1", "--output", str(out1)]) == 0
+    assert main(SWEEP_ARGS + ["--workers", "4", "--cache-dir", cache_dir,
+                              "--output", str(out4)]) == 0
+    assert out1.read_bytes() == out4.read_bytes()
+    capsys.readouterr()
+    # repeat with the cache: everything resolves without execution
+    out4b = tmp_path / "w4b.json"
+    assert main(SWEEP_ARGS + ["--workers", "4", "--cache-dir", cache_dir,
+                              "--output", str(out4b)]) == 0
+    stderr = capsys.readouterr().err
+    assert "executed 0" in stderr and "cache hits 2" in stderr
+    assert out4b.read_bytes() == out1.read_bytes()
+
+
+def test_sweep_csv_output(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--max-rounds", "2000", "--csv"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0].startswith("family,")
+    assert len(lines) == 2
+
+
+def test_report_renders_saved_sweep(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    assert main(SWEEP_ARGS + ["--output", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(out)]) == 0
+    assert "tree_degree" in capsys.readouterr().out
+    assert main(["report", str(out), "--group-by", "family",
+                 "--value", "rounds"]) == 0
+    assert "mean_rounds" in capsys.readouterr().out
+
+
+def test_report_missing_file_fails_cleanly(capsys):
+    assert main(["report", "/nonexistent/report.json"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bench_runs_selected_experiment(tmp_path, capsys):
+    # E3 only builds networks (no protocol runs), so it is fast enough here
+    assert main(["bench", "--experiments", "E3", "--profile", "quick",
+                 "--workers", "2", "--output-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[E3]" in out
+    saved = json.loads((tmp_path / "E3.json").read_text(encoding="utf-8"))
+    assert saved["experiment"] == "E3" and saved["rows"]
+
+
+def test_bench_rejects_unknown_experiment(capsys):
+    assert main(["bench", "--experiments", "E99"]) == 1
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_cli_module_is_executable_via_subprocess():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.runtime.cli", "run", "--family", "wheel",
+         "--n", "8", "--seed", "3", "--max-rounds", "2000", "--json"],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout)["row"]["converged"] is True

@@ -1,0 +1,250 @@
+"""Tests for the parallel sweep engine (specs, tasks, cache, execution).
+
+The determinism tests are the load-bearing ones: the engine's contract is
+that the worker count never changes results, and that a cached re-run is a
+pure lookup.  They run on deliberately tiny graphs so the whole module
+stays fast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import run_workload, workload_records
+from repro.experiments.workloads import WorkloadInstance
+from repro.runtime import (
+    ResultCache,
+    RunOutcome,
+    RunSpec,
+    SweepEngine,
+    SweepSpec,
+    execute_spec,
+    run_sweep,
+    spec_key,
+    task_names,
+)
+
+FAST = dict(max_rounds=2000)
+
+
+def tiny_sweep(**overrides) -> SweepSpec:
+    base = dict(families=("wheel", "erdos_renyi_sparse"), sizes=(8,),
+                repetitions=2, master_seed=7, max_rounds=2000)
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestRunSpec:
+    def test_round_trip(self):
+        spec = RunSpec(task="protocol", family="wheel", n=8, seed=3,
+                       fault_round=10, params=(("k", 2),))
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec.from_dict({"family": "wheel", "bogus": 1})
+
+    def test_with_params_merges_sorted(self):
+        spec = RunSpec(params=(("b", 2),)).with_params(a=1)
+        assert spec.params == (("a", 1), ("b", 2))
+        assert spec.param("a") == 1
+        assert spec.param("missing", "dflt") == "dflt"
+
+    def test_spec_key_stable_and_sensitive(self):
+        spec = RunSpec(family="wheel", n=8, seed=3)
+        assert spec_key(spec) == spec_key(RunSpec(family="wheel", n=8, seed=3))
+        for changed in (dataclasses.replace(spec, seed=4),
+                        dataclasses.replace(spec, max_rounds=999),
+                        dataclasses.replace(spec, scheduler="random"),
+                        spec.with_params(x=1)):
+            assert spec_key(changed) != spec_key(spec)
+
+    def test_mdst_config_mirrors_spec(self):
+        cfg = RunSpec(seed=5, scheduler="random", initial="corrupted",
+                      max_rounds=123).mdst_config()
+        assert (cfg.seed, cfg.scheduler, cfg.initial, cfg.max_rounds) == \
+            (5, "random", "corrupted", 123)
+
+    def test_build_graph_matches_workload_instance(self):
+        spec = RunSpec(family="erdos_renyi_sparse", n=12, seed=9)
+        a, b = spec.build_graph(), WorkloadInstance("erdos_renyi_sparse", 12, 9).build()
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestSweepSpec:
+    def test_expand_order_and_size(self):
+        sweep = tiny_sweep(schedulers=("synchronous", "random"))
+        specs = sweep.expand()
+        assert len(specs) == 2 * 2 * 1 * 2
+        # repetition-major, then family, then scheduler
+        assert specs[0].family == "wheel" and specs[0].scheduler == "synchronous"
+        assert specs[1].scheduler == "random"
+        assert specs[2].family == "erdos_renyi_sparse"
+
+    def test_seed_derivation_is_deterministic_and_stable(self):
+        sweep = tiny_sweep()
+        assert sweep.seed_for(0) == tiny_sweep().seed_for(0)
+        assert sweep.seed_for(0) != sweep.seed_for(1)
+        # adding repetitions never changes earlier seeds
+        more = tiny_sweep(repetitions=5)
+        assert [more.seed_for(r) for r in range(2)] == \
+            [sweep.seed_for(r) for r in range(2)]
+
+    def test_explicit_seeds_override_derivation(self):
+        sweep = tiny_sweep(seeds=(11, 23))
+        assert sweep.seed_for(0) == 11 and sweep.seed_for(2) == 11
+
+    def test_expand_validates(self):
+        with pytest.raises(ConfigurationError):
+            tiny_sweep(repetitions=0).expand()
+        with pytest.raises(ConfigurationError):
+            tiny_sweep(families=()).expand()
+
+
+class TestTasks:
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_spec(RunSpec(task="nope"))
+
+    def test_task_registry_covers_experiments(self):
+        assert {"protocol", "reference", "memory", "quality", "baselines",
+                "hub", "improvement"} <= set(task_names())
+
+    def test_protocol_task_row_and_record(self):
+        outcome = execute_spec(RunSpec(family="wheel", n=8, seed=3, **FAST))
+        assert outcome.row["converged"] is True
+        assert outcome.row["tree_degree"] <= 3
+        assert outcome.record is not None
+        assert outcome.record.nodes == 8
+        assert not outcome.from_cache
+
+    def test_outcome_json_round_trip(self):
+        outcome = execute_spec(RunSpec(family="wheel", n=8, seed=3, **FAST))
+        data = json.loads(json.dumps(outcome.to_dict()))
+        clone = RunOutcome.from_dict(data)
+        assert clone.spec == outcome.spec
+        assert clone.record == outcome.record
+        # JSON round-trip stringifies nothing in a protocol row
+        assert clone.row == json.loads(json.dumps(outcome.row))
+
+    def test_fault_round_perturbs_the_run_but_still_converges(self):
+        base = RunSpec(family="wheel", n=8, seed=3, initial="bfs_tree", **FAST)
+        faulty = dataclasses.replace(base, fault_round=5, fault_fraction=0.5)
+        faulty_row = execute_spec(faulty).row
+        assert faulty_row != execute_spec(base).row
+        assert faulty_row["converged"] is True
+
+
+class TestEngineDeterminism:
+    def test_same_seed_same_records_1_vs_n_workers(self):
+        specs = tiny_sweep().expand()
+        serial = SweepEngine(workers=1).execute(specs)
+        parallel = SweepEngine(workers=4).execute(specs)
+        assert [o.record for o in serial] == [o.record for o in parallel]
+        assert [o.row for o in serial] == [o.row for o in parallel]
+
+    def test_reports_byte_identical_across_worker_counts(self):
+        specs = tiny_sweep().expand()
+        json1 = SweepEngine(workers=1).report(specs).to_json()
+        json4 = SweepEngine(workers=4).report(specs).to_json()
+        assert json1.encode() == json4.encode()
+
+    def test_stats_accounting(self):
+        engine = SweepEngine(workers=1)
+        engine.execute(tiny_sweep().expand())
+        stats = engine.last_stats
+        assert (stats.total, stats.executed, stats.cache_hits) == (4, 4, 0)
+
+    def test_records_and_aggregate(self):
+        engine = SweepEngine(workers=1)
+        specs = tiny_sweep().expand()
+        records = engine.records(specs)
+        assert len(records) == len(specs)
+        summary = engine.aggregate(specs)
+        assert summary["runs"] == len(specs)
+        assert summary["converged"] == len(specs)
+
+
+class TestCache:
+    def test_hit_after_put_and_incremental_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = tiny_sweep().expand()
+        engine = SweepEngine(workers=1, cache=cache)
+        first = engine.execute(specs)
+        assert engine.last_stats.executed == len(specs)
+        second = engine.execute(specs)
+        assert engine.last_stats.executed == 0
+        assert engine.last_stats.cache_hits == len(specs)
+        assert all(o.from_cache for o in second)
+        assert [o.record for o in first] == [o.record for o in second]
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(family="wheel", n=8, seed=3, **FAST)
+        SweepEngine(workers=1, cache=cache).execute([spec])
+        changed = dataclasses.replace(spec, max_rounds=1999)
+        assert spec in cache
+        assert changed not in cache
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.execute([changed])
+        assert engine.last_stats.executed == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(family="wheel", n=8, seed=3, **FAST)
+        path = cache.put(execute_spec(spec))
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.execute([spec])
+        assert engine.last_stats.executed == 1
+        # the fresh result was re-persisted over the corrupt entry
+        assert cache.get(spec) is not None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(workers=1, cache=cache).execute(tiny_sweep().expand())
+        assert len(cache) == 4
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+
+class TestConvenienceAPIs:
+    def test_run_sweep_report(self):
+        report = run_sweep(tiny_sweep(families=("wheel",), repetitions=1))
+        assert report.experiment == "sweep"
+        assert len(report.rows) == 1
+        assert report.rows[0]["converged"] is True
+        assert report.metadata["sweep"]["families"] == ["wheel"]
+
+    def test_runner_dispatches_workloads_through_engine(self):
+        instances = [WorkloadInstance("wheel", 8, 3),
+                     WorkloadInstance("wheel", 8, 4)]
+        outcomes = run_workload(instances, max_rounds=2000, workers=2)
+        assert [o.spec.seed for o in outcomes] == [3, 4]
+        records = workload_records(instances, max_rounds=2000)
+        assert [o.record for o in outcomes] == records
+
+
+class TestExperimentsThroughEngine:
+    """E1-E8 accept workers/cache; parallel == serial on a tiny profile."""
+
+    def test_e2_parallel_matches_serial_and_caches(self, tmp_path):
+        from repro.experiments import experiment_e2_convergence
+        from repro.experiments.config import ExperimentProfile
+        tiny = ExperimentProfile(name="tiny", protocol_sizes=(8,),
+                                 reference_sizes=(12,), exact_sizes=(6,),
+                                 repetitions=1, max_rounds=1500, seeds=(5,),
+                                 schedulers=("synchronous",))
+        cache = ResultCache(tmp_path)
+        serial = experiment_e2_convergence(tiny)
+        parallel = experiment_e2_convergence(tiny, workers=4, cache=cache)
+        assert serial.to_json() == parallel.to_json()
+        # second run resolves entirely from cache and is still identical
+        cached = experiment_e2_convergence(tiny, workers=1, cache=cache)
+        assert cache.stats.hits >= len(serial.rows)
+        assert cached.to_json() == serial.to_json()
