@@ -13,12 +13,23 @@ A configuration is *legitimate* when
 
 The first two conditions are cheap; the third calls the chain planner of
 :mod:`repro.core.improvement` and is therefore only evaluated when the first
-two hold (the simulator calls the predicate once per round).
+two hold.
+
+Kernel integration: every stage accepts the pre-computed per-node snapshot
+mapping so a full evaluation traverses the network exactly once (the kernel
+caches :meth:`~repro.sim.network.Network.snapshots` keyed on its
+configuration version).  The predicate built by :func:`make_mdst_legitimacy`
+additionally memoizes the expensive condition 3 on the induced tree edge
+set: the planner verdict is a pure function of ``(graph, tree_edges)``, and
+during an execution the induced tree changes far more rarely than the
+gossip-churned node states, so most rounds resolve the fixpoint test with a
+set lookup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import weakref
+from typing import Callable, Dict, Mapping, Optional
 
 import networkx as nx
 
@@ -28,9 +39,10 @@ from ..stabilization.predicates import (
     dmax_agrees_with_tree,
     has_unique_root,
     parent_map_is_spanning_tree,
+    snapshot_tree_degree,
     tree_edges_from_snapshots,
 )
-from ..types import Edge
+from ..types import Edge, NodeId
 from .improvement import improvement_possible
 
 __all__ = [
@@ -43,25 +55,29 @@ __all__ = [
     "current_tree_degree",
 ]
 
+Snapshots = Mapping[NodeId, Mapping[str, object]]
 
-def current_tree_edges(network: Network) -> set[Edge]:
+#: Size bound of the per-predicate tree-fixpoint memo (distinct trees seen
+#: during one run; cleared wholesale when exceeded, which never happens in
+#: the experiment suite).
+_REDUCTION_MEMO_LIMIT = 512
+
+
+def current_tree_edges(network: Network,
+                       snapshots: Optional[Snapshots] = None) -> set[Edge]:
     """Tree edge set induced by the current parent pointers."""
-    return tree_edges_from_snapshots(network)
+    return tree_edges_from_snapshots(network, snapshots)
 
 
-def current_tree_degree(network: Network) -> int:
+def current_tree_degree(network: Network,
+                        snapshots: Optional[Snapshots] = None) -> int:
     """Degree of the currently induced tree (0 if no edges)."""
-    edges = current_tree_edges(network)
-    counts: dict[int, int] = {}
-    for a, b in edges:
-        counts[a] = counts.get(a, 0) + 1
-        counts[b] = counts.get(b, 0) + 1
-    return max(counts.values()) if counts else 0
+    return snapshot_tree_degree(network, snapshots)
 
 
-def tree_coherent(network: Network) -> bool:
+def tree_coherent(network: Network, snapshots: Optional[Snapshots] = None) -> bool:
     """Condition 1: unique min-id root, spanning tree, coherent distances."""
-    snaps = network.snapshots()
+    snaps = snapshots if snapshots is not None else network.snapshots()
     if not has_unique_root(snaps):
         return False
     min_id = min(network.node_ids)
@@ -72,26 +88,36 @@ def tree_coherent(network: Network) -> bool:
     return distances_coherent(snaps)
 
 
-def degree_layer_coherent(network: Network) -> bool:
+def degree_layer_coherent(network: Network,
+                          snapshots: Optional[Snapshots] = None) -> bool:
     """Condition 2: every node's ``dmax`` equals the true tree degree."""
-    return dmax_agrees_with_tree(network)
+    return dmax_agrees_with_tree(network, snapshots)
 
 
-def reduction_finished(network: Network) -> bool:
-    """Condition 3: the induced tree admits no further improvement chain."""
-    edges = current_tree_edges(network)
+def _reduction_fixpoint(network: Network, edges: "set[Edge]") -> bool:
+    """Condition 3 core: ``edges`` spans the network and is an
+    improvement-rule fixpoint.  The single home of the condition-3
+    semantics; both :func:`reduction_finished` and the memoizing predicate
+    of :func:`make_mdst_legitimacy` delegate here."""
     if len(edges) != len(network.node_ids) - 1:
         return False
     return not improvement_possible(network.graph, edges)
 
 
+def reduction_finished(network: Network,
+                       snapshots: Optional[Snapshots] = None) -> bool:
+    """Condition 3: the induced tree admits no further improvement chain."""
+    return _reduction_fixpoint(network, current_tree_edges(network, snapshots))
+
+
 def mdst_legitimacy(network: Network) -> bool:
     """Full legitimacy predicate (conditions 1-3, evaluated lazily)."""
-    if not tree_coherent(network):
+    snaps = network.snapshots()
+    if not tree_coherent(network, snaps):
         return False
-    if not degree_layer_coherent(network):
+    if not degree_layer_coherent(network, snaps):
         return False
-    return reduction_finished(network)
+    return reduction_finished(network, snaps)
 
 
 def make_mdst_legitimacy(require_reduction: bool = True,
@@ -101,13 +127,36 @@ def make_mdst_legitimacy(require_reduction: bool = True,
 
     ``require_reduction=False`` yields the predicate of the spanning-tree +
     max-degree layers only (used to time the substrate in isolation).
+
+    The returned predicate is a pure function of the network's per-node
+    snapshots (and the static graph), so it is safe to wrap in the
+    simulator's :class:`~repro.sim.monitors.PredicateCache`; internally it
+    also memoizes the improvement-rule fixpoint test per induced tree edge
+    set, which skips the chain planner whenever the tree shape was already
+    judged -- the verdicts themselves are unchanged.  The memo is held per
+    graph (weakly, so graphs are not kept alive), making one predicate
+    instance safe to reuse across networks.
     """
+    memo_by_graph: "weakref.WeakKeyDictionary[nx.Graph, Dict[frozenset, bool]]" = \
+        weakref.WeakKeyDictionary()
+
     def predicate(network: Network) -> bool:
-        if not tree_coherent(network):
+        snaps = network.snapshots()
+        if not tree_coherent(network, snaps):
             return False
-        if require_degree_layer and not degree_layer_coherent(network):
+        if require_degree_layer and not degree_layer_coherent(network, snaps):
             return False
-        if require_reduction and not reduction_finished(network):
-            return False
+        if require_reduction:
+            edges = current_tree_edges(network, snaps)
+            reduction_memo = memo_by_graph.setdefault(network.graph, {})
+            key = frozenset(edges)
+            verdict = reduction_memo.get(key)
+            if verdict is None:
+                if len(reduction_memo) >= _REDUCTION_MEMO_LIMIT:
+                    reduction_memo.clear()
+                verdict = _reduction_fixpoint(network, edges)
+                reduction_memo[key] = verdict
+            if not verdict:
+                return False
         return True
     return predicate

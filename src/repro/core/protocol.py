@@ -74,7 +74,8 @@ class MDSTConfig:
     Attributes
     ----------
     scheduler:
-        ``"synchronous"``, ``"random"`` or ``"adversarial"``.
+        ``"synchronous"``, ``"random"``, ``"adversarial"`` or
+        ``"weighted"`` (per-node step weights, see ``node_weights``).
     seed:
         Master seed for the scheduler, fault injection and random trees.
     initial:
@@ -99,6 +100,9 @@ class MDSTConfig:
         Record the full event log (memory-heavy; used by examples).
     slow_links, max_delay:
         Parameters of the adversarial scheduler.
+    node_weights:
+        Per-node step weights for the ``"weighted"`` scheduler (hot-hub
+        stress scenarios); nodes not listed default to weight 1.
     """
 
     scheduler: str = "synchronous"
@@ -114,6 +118,7 @@ class MDSTConfig:
     keep_trace_events: bool = False
     slow_links: Sequence[Tuple[NodeId, NodeId]] = field(default_factory=tuple)
     max_delay: int = 4
+    node_weights: Optional[Dict[NodeId, int]] = None
 
     def validate(self) -> None:
         if self.initial not in INITIAL_POLICIES:
@@ -211,6 +216,7 @@ def initialize_from_tree(network: Network, tree_edges: Iterable[Edge]) -> None:
             view.dmax = dmax
             view.color = True
             view.heard = True
+    network.note_state_write()
 
 
 def initialize_isolated(network: Network) -> None:
@@ -229,6 +235,7 @@ def initialize_isolated(network: Network) -> None:
         for u in proc.neighbors:
             view = st.view[u]
             view.heard = False
+    network.note_state_write()
 
 
 def _prepare_initial(network: Network, config: MDSTConfig,
@@ -280,7 +287,8 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
         _prepare_initial(network, config, rng)
     legitimacy = make_mdst_legitimacy(require_reduction=config.enable_reduction)
     scheduler = make_scheduler(config.scheduler, seed=config.seed,
-                               slow_links=config.slow_links, max_delay=config.max_delay)
+                               slow_links=config.slow_links, max_delay=config.max_delay,
+                               weights=config.node_weights)
     trace = TraceRecorder(keep_events=config.keep_trace_events,
                           network_size=graph.number_of_nodes())
     simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,
@@ -292,7 +300,8 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
     tree_degree_now = current_tree_degree(network)
     tree_snapshot: Optional[TreeSnapshot] = None
     if report.converged:
-        parent = {v: int(network.snapshots()[v]["parent"]) for v in network.node_ids}
+        snaps = network.snapshots()
+        parent = {v: int(snaps[v]["parent"]) for v in network.node_ids}
         try:
             tree_snapshot = TreeSnapshot.from_parent_map(parent)
         except ValueError:

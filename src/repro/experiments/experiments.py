@@ -15,6 +15,13 @@ optional on-disk :class:`~repro.runtime.cache.ResultCache`, and finally
 assembles the rows in deterministic workload order.  Results are therefore
 identical regardless of the worker count, and repeated invocations with a
 cache resolve without re-running simulations.
+
+The underlying simulations run on the activity-aware kernel
+(:mod:`repro.sim.network`): enabled-event scheduling, configuration-version
+caching and incremental convergence detection.  The kernel only skips
+redundant predicate evaluations and idle-channel polling, so every row in
+every table is byte-identical to the pre-kernel implementation -- the round,
+step and message counts are part of the reproduced claims.
 """
 
 from __future__ import annotations

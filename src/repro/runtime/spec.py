@@ -107,7 +107,13 @@ class RunSpec:
         return replace(self, params=tuple(sorted(merged.items())))
 
     def mdst_config(self) -> MDSTConfig:
-        """The :class:`~repro.core.MDSTConfig` equivalent of this spec."""
+        """The :class:`~repro.core.MDSTConfig` equivalent of this spec.
+
+        The ``node_weights`` task parameter (a tuple of ``(node, weight)``
+        pairs, kept as a tuple so the spec stays hashable) configures the
+        kernel's weighted-fair scheduler when ``scheduler="weighted"``.
+        """
+        weights = self.param("node_weights")
         return MDSTConfig(
             scheduler=self.scheduler,
             seed=self.seed,
@@ -115,6 +121,7 @@ class RunSpec:
             max_rounds=self.max_rounds,
             stability_window=self.stability_window,
             enable_reduction=self.enable_reduction,
+            node_weights={int(v): int(w) for v, w in weights} if weights else None,
         )
 
     # -- serialization ---------------------------------------------------------

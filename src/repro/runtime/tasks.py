@@ -20,6 +20,13 @@ The registry covers every kind of measurement the E1-E8 experiments need:
 ``hub``        serialized-vs-concurrent reduction model + protocol (E7)
 ``improvement`` single-improvement micro-benchmark on a hard-hub graph (E8)
 =============  ==============================================================
+
+Protocol-style tasks execute on the activity-aware simulation kernel via
+:func:`~repro.core.protocol.run_mdst`; the spec's ``scheduler`` field names
+any kernel scheduling policy (``synchronous``/``random``/``adversarial``/
+``weighted``), with per-node weights for the weighted-fair policy supplied
+through the ``node_weights`` task parameter (see
+:meth:`~repro.runtime.spec.RunSpec.mdst_config`).
 """
 
 from __future__ import annotations

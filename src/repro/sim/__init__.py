@@ -8,8 +8,8 @@ the provided schedulers, with fault injection and tracing.
 from .channel import Channel, ChannelStats
 from .faults import FaultEvent, FaultPlan, corrupt_channels, corrupt_everything, corrupt_states
 from .messages import GarbageMessage, Message, estimate_bits, id_bits
-from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor
-from .network import Network, ProcessFactory
+from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor, PredicateCache
+from .network import EnabledEvents, Network, ProcessFactory
 from .node import Outbox, Process
 from .rng import derive_seed, seed_sequence, spawn_generators
 from .scheduler import (
@@ -18,6 +18,7 @@ from .scheduler import (
     RoundStats,
     Scheduler,
     SynchronousScheduler,
+    WeightedFairScheduler,
     make_scheduler,
 )
 from .simulator import SimulationReport, Simulator

@@ -39,7 +39,7 @@ class Channel:
     contents), but once the simulation runs the FIFO discipline holds.
     """
 
-    __slots__ = ("src", "dst", "_queue", "stats", "_network_size")
+    __slots__ = ("src", "dst", "_queue", "stats", "_network_size", "_on_change")
 
     def __init__(self, src: NodeId, dst: NodeId, network_size: int = 2):
         if src == dst:
@@ -49,6 +49,15 @@ class Channel:
         self._queue: Deque[Message] = deque()
         self.stats = ChannelStats()
         self._network_size = network_size
+        #: Activity hook installed by the owning network: called after every
+        #: queue mutation with the delta in queue length.  Keeps the kernel's
+        #: active-channel set and configuration version current without the
+        #: channel knowing anything about the network.
+        self._on_change = None
+
+    def watch(self, on_change) -> None:
+        """Install the activity callback ``(channel, delta) -> None``."""
+        self._on_change = on_change
 
     # -- sending / delivering ------------------------------------------------
 
@@ -62,13 +71,18 @@ class Channel:
         self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
         bits = message.size_bits(self._network_size)
         self.stats.max_message_bits = max(self.stats.max_message_bits, bits)
+        if self._on_change is not None:
+            self._on_change(self, 1)
 
     def deliver(self) -> Message:
         """Pop and return the message at the head of the channel."""
         if not self._queue:
             raise ChannelError(f"channel {self.src}->{self.dst} is empty")
         self.stats.delivered += 1
-        return self._queue.popleft()
+        message = self._queue.popleft()
+        if self._on_change is not None:
+            self._on_change(self, -1)
+        return message
 
     def peek(self) -> Message | None:
         """Return the head message without removing it (``None`` if empty)."""
@@ -78,15 +92,19 @@ class Channel:
 
     def preload(self, messages: List[Message]) -> None:
         """Place arbitrary messages on the channel (arbitrary initial config)."""
-        for m in messages:
-            if not isinstance(m, Message):
-                raise ChannelError("preloaded items must be Message instances")
-            self._queue.append(m)
+        if any(not isinstance(m, Message) for m in messages):
+            raise ChannelError("preloaded items must be Message instances")
+        self._queue.extend(messages)
         self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+        if messages and self._on_change is not None:
+            self._on_change(self, len(messages))
 
     def clear(self) -> None:
         """Drop all queued messages (used only by test harnesses)."""
+        dropped = len(self._queue)
         self._queue.clear()
+        if dropped and self._on_change is not None:
+            self._on_change(self, -dropped)
 
     # -- introspection --------------------------------------------------------
 

@@ -57,6 +57,8 @@ def corrupt_states(network: Network, rng: np.random.Generator,
             raise ConfigurationError(f"cannot corrupt unknown nodes {sorted(unknown)}")
     for v in chosen:
         network.processes[v].corrupt(rng)
+    if chosen:
+        network.note_state_write()
     return chosen
 
 

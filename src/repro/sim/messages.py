@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields, is_dataclass
+from functools import lru_cache
 from typing import Any, Iterable
 
 __all__ = ["Message", "estimate_bits", "id_bits"]
@@ -30,8 +31,13 @@ __all__ = ["Message", "estimate_bits", "id_bits"]
 TYPE_TAG_BITS = 4
 
 
+@lru_cache(maxsize=1024)
 def id_bits(n: int) -> int:
-    """Number of bits needed to encode one identifier in an ``n``-node network."""
+    """Number of bits needed to encode one identifier in an ``n``-node network.
+
+    Cached per network size (a handful of small ints per process); called
+    once per integer field of every message the accounting layer sizes.
+    """
     return max(1, math.ceil(math.log2(max(n, 2)))) + 1
 
 
@@ -75,11 +81,25 @@ class Message:
         return type(self).__name__
 
     def size_bits(self, n: int) -> int:
-        """Estimated size of this message in bits for an ``n``-node network."""
+        """Estimated size of this message in bits for an ``n``-node network.
+
+        Messages are immutable, so the estimate is cached on the instance
+        the first time it is computed (a message typically has its size
+        taken several times: once per channel it is broadcast onto plus
+        once per delivery), which keeps the per-send/per-delivery
+        accounting of the simulation kernel off the hot path.  The cache
+        lives and dies with the message object -- nothing is retained
+        globally across simulations.
+        """
+        cached = self.__dict__.get("_size_bits_cache")
+        if cached is not None and cached[0] == n:
+            return cached[1]
         payload = 0
         for f in fields(self):
             payload += estimate_bits(getattr(self, f.name), n)
-        return TYPE_TAG_BITS + payload
+        bits = TYPE_TAG_BITS + payload
+        object.__setattr__(self, "_size_bits_cache", (n, bits))
+        return bits
 
 
 @dataclass(frozen=True)

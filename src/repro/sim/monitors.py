@@ -14,6 +14,21 @@
 * :class:`InvariantMonitor` checks safety invariants every round (e.g. "the
   set of tree edges never disconnects the already-agreed tree") and raises on
   the first violation, giving tests an early, localised failure.
+
+Incremental evaluation
+----------------------
+Legitimacy predicates are global computations (spanning-tree checks, the
+improvement-rule fixpoint test) that historically re-ran from scratch every
+round even when nothing changed.  :class:`PredicateCache` makes the monitors
+incremental: it memoizes the last verdict keyed on the kernel's
+:meth:`~repro.sim.network.Network.snapshot_key` -- the canonical fingerprint
+of the observable configuration -- and re-evaluates only when the
+fingerprint changed.  Because the fingerprint determines the snapshots
+exactly, any predicate that is a pure function of the per-node snapshots
+(all predicates in this library are) evaluates byte-identically; only the
+redundant re-evaluations are skipped.  The simulator shares one cache
+between the convergence and closure monitors, so the post-convergence
+closure check of an unchanged configuration is free.
 """
 
 from __future__ import annotations
@@ -24,9 +39,46 @@ from typing import Callable, List, Optional
 from ..exceptions import SimulationError
 from .network import Network
 
-__all__ = ["ConvergenceMonitor", "ClosureMonitor", "InvariantMonitor"]
+__all__ = ["ConvergenceMonitor", "ClosureMonitor", "InvariantMonitor",
+           "PredicateCache"]
 
 Predicate = Callable[[Network], bool]
+
+
+class PredicateCache:
+    """Verdict cache keyed on the network's configuration fingerprint.
+
+    Wraps a predicate; calling the cache evaluates the predicate only when
+    the observable configuration changed since the previous call.  Use only
+    with predicates that are pure functions of the per-node snapshots --
+    a predicate reading channel contents or external state must stay
+    uncached (pass ``cache_predicate=False`` to the simulator).
+
+    Attributes
+    ----------
+    evaluations:
+        Number of real predicate evaluations performed.
+    hits:
+        Number of calls answered from the cache.
+    """
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+        self.evaluations = 0
+        self.hits = 0
+        self._key: Optional[tuple] = None
+        self._verdict: Optional[bool] = None
+
+    def __call__(self, network: Network) -> bool:
+        key = network.snapshot_key()
+        if self._verdict is not None and key == self._key:
+            self.hits += 1
+            return self._verdict
+        verdict = bool(self.predicate(network))
+        self._key = key
+        self._verdict = verdict
+        self.evaluations += 1
+        return verdict
 
 
 class ConvergenceMonitor:
@@ -59,6 +111,17 @@ class ConvergenceMonitor:
             self.consecutive_holds = 0
             self.first_hold_round = None
         return self.converged
+
+    def reset_stability(self) -> None:
+        """Forget the current stability streak (e.g. after a fault injection).
+
+        Clears the declared convergence round, the consecutive-hold counter
+        *and* the first-hold round, so a convergence reported after a
+        mid-run fault can never predate the fault.
+        """
+        self.converged_round = None
+        self.consecutive_holds = 0
+        self.first_hold_round = None
 
 
 class ClosureMonitor:
@@ -100,6 +163,9 @@ class InvariantMonitor:
     raise_on_violation:
         If ``True`` (default) raise :class:`SimulationError` at the first
         violation; otherwise record it and continue.
+
+    Invariants may inspect anything (channels included), so they are never
+    cached; every round evaluates every invariant.
     """
 
     def __init__(self, invariants: List[tuple[str, Callable[[Network], bool | str]]],

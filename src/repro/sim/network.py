@@ -8,11 +8,40 @@ factory* (a callable ``(node_id, neighbors) -> Process``).  It owns
 
 and offers the queries the scheduler and the verification layer need
 (pending channels, global quiescence, state snapshots, memory statistics).
+
+Activity-aware kernel
+---------------------
+The network doubles as the *simulation kernel*: it tracks which events are
+currently enabled and how often the global configuration has changed, so
+that schedulers and monitors never have to poll disabled parts of the
+system:
+
+* :attr:`Network.version` is a monotonically increasing **configuration
+  version**, bumped on every message send, every delivery, and every state
+  write the kernel is told about (process steps report through
+  :meth:`note_step`; out-of-band mutation such as fault injection or
+  initial-configuration installers must call :meth:`note_state_write`).
+  Snapshots and their fingerprint are cached keyed on this version, so any
+  number of global checks within one configuration cost one traversal.
+* Every node carries an **enabled flag** (:meth:`set_node_enabled`).  A
+  disabled node takes no steps at all -- no timeout actions, and messages
+  addressed to it stay queued.  All nodes start enabled, which reproduces
+  the historical semantics exactly.
+* The **enabled-event set** (:meth:`enabled_events`) is the kernel's
+  contract with the schedulers: the timeout of every enabled node plus one
+  delivery per message queued on a channel toward an enabled node.  Active
+  channels are tracked incrementally (a channel joins the set when it
+  becomes non-empty and leaves when drained), so building the event set
+  costs O(active), not O(m).
+* :meth:`has_enabled_events` is the quiescence test the simulator uses to
+  short-circuit the round loop: with no enabled event, no future round can
+  change the configuration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -23,9 +52,39 @@ from .channel import Channel
 from .messages import Message
 from .node import Process
 
-__all__ = ["Network", "ProcessFactory"]
+__all__ = ["Network", "ProcessFactory", "EnabledEvents"]
 
 ProcessFactory = Callable[[NodeId, Sequence[NodeId]], Process]
+
+ChannelKey = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class EnabledEvents:
+    """The kernel's enabled-event set at one configuration.
+
+    Attributes
+    ----------
+    timeouts:
+        Enabled nodes in increasing id order; each contributes one enabled
+        timeout action.
+    deliveries:
+        ``(src, dst, pending)`` triples -- one per non-empty channel whose
+        destination is enabled -- in channel creation order (the canonical
+        order schedulers have always observed).  ``pending`` is the queue
+        length at the time the set was built.
+    """
+
+    timeouts: Tuple[NodeId, ...]
+    deliveries: Tuple[Tuple[NodeId, NodeId, int], ...]
+
+    @property
+    def total(self) -> int:
+        """Number of enabled atomic events (timeouts + queued deliveries)."""
+        return len(self.timeouts) + sum(count for _, _, count in self.deliveries)
+
+    def __bool__(self) -> bool:
+        return bool(self.timeouts) or bool(self.deliveries)
 
 
 class Network:
@@ -55,11 +114,134 @@ class Network:
                 raise ProtocolError(
                     f"process factory returned node id {proc.node_id} for node {v}")
             self.processes[v] = proc
-        # Two directed channels per undirected edge.
-        self.channels: Dict[Tuple[NodeId, NodeId], Channel] = {}
+        # -- kernel state ------------------------------------------------------
+        self._version = 0
+        self._disabled: set[NodeId] = set()
+        self._active: set[ChannelKey] = set()
+        self._pending_total = 0
+        self._channel_order: Dict[ChannelKey, int] = {}
+        self._snap_cache: Optional[Tuple[int, Dict[NodeId, Dict[str, object]]]] = None
+        self._key_cache: Optional[Tuple[int, tuple]] = None
+        # Two directed channels per undirected edge, watched for activity.
+        self.channels: Dict[ChannelKey, Channel] = {}
         for u, v in graph.edges:
-            self.channels[(u, v)] = Channel(u, v, network_size=self.n)
-            self.channels[(v, u)] = Channel(v, u, network_size=self.n)
+            for key in ((u, v), (v, u)):
+                channel = Channel(*key, network_size=self.n)
+                channel.watch(self._channel_changed)
+                self._channel_order[key] = len(self._channel_order)
+                self.channels[key] = channel
+
+    # -- configuration version / activity tracking -----------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing configuration version.
+
+        Bumped on every send, every delivery, and every reported state
+        write.  Equal versions guarantee an unchanged configuration; caches
+        throughout the verification layer key on it.
+        """
+        return self._version
+
+    def _channel_changed(self, channel: Channel, delta: int) -> None:
+        """Activity hook installed on every channel (send/deliver/preload/clear)."""
+        self._pending_total += delta
+        key = (channel.src, channel.dst)
+        if channel:
+            self._active.add(key)
+        else:
+            self._active.discard(key)
+        self._version += 1
+
+    def note_step(self, v: NodeId) -> None:
+        """Record that node ``v`` executed an atomic step (potential state write).
+
+        Called by the scheduler helpers after every timeout action and every
+        message receipt; conservatively bumps the configuration version.
+        """
+        self._version += 1
+
+    def note_state_write(self) -> None:
+        """Record an out-of-band state mutation (faults, initial configurations).
+
+        Any code that writes process state without going through a scheduled
+        step -- fault injection, initial-configuration installers, test
+        harnesses poking at ``network.processes[v]`` directly -- must call
+        this so version-keyed caches (snapshots, predicate verdicts) are
+        invalidated.
+        """
+        self._version += 1
+        self._snap_cache = None
+        self._key_cache = None
+
+    # -- enabled nodes ----------------------------------------------------------
+
+    def node_enabled(self, v: NodeId) -> bool:
+        """Whether node ``v`` currently takes steps."""
+        return v not in self._disabled
+
+    def set_node_enabled(self, v: NodeId, enabled: bool = True) -> None:
+        """Enable or disable node ``v``.
+
+        A disabled node performs no timeout actions and receives no
+        messages (its incoming channels keep their queues); it stops
+        contributing events to :meth:`enabled_events`.  Disabling every node
+        of a quiet network makes it quiescent, which the simulator detects
+        to short-circuit the round loop.
+        """
+        if v not in self.adjacency:
+            raise SimulationError(f"unknown node {v}")
+        if enabled:
+            self._disabled.discard(v)
+        else:
+            self._disabled.add(v)
+        self._version += 1
+
+    def enabled_nodes(self) -> List[NodeId]:
+        """Enabled node ids in increasing order."""
+        if not self._disabled:
+            return list(self.node_ids)
+        return [v for v in self.node_ids if v not in self._disabled]
+
+    # -- enabled events ---------------------------------------------------------
+
+    def enabled_deliveries(self) -> List[Tuple[NodeId, NodeId, int]]:
+        """``(src, dst, pending)`` for every enabled delivery, in channel order.
+
+        A delivery is enabled when its channel is non-empty and its
+        destination node is enabled.  The list is ordered by channel
+        creation (the iteration order schedulers historically observed),
+        and costs O(active log active) rather than O(m).
+        """
+        order = self._channel_order
+        keys = sorted(self._active, key=order.__getitem__)
+        out: List[Tuple[NodeId, NodeId, int]] = []
+        for key in keys:
+            src, dst = key
+            if dst in self._disabled:
+                continue
+            count = len(self.channels[key])
+            if count:
+                out.append((src, dst, count))
+        return out
+
+    def enabled_events(self) -> EnabledEvents:
+        """The enabled-event set schedulers act on (see :class:`EnabledEvents`)."""
+        return EnabledEvents(timeouts=tuple(self.enabled_nodes()),
+                             deliveries=tuple(self.enabled_deliveries()))
+
+    def has_enabled_events(self) -> bool:
+        """Whether any event is enabled (the negation is quiescence).
+
+        An enabled node always has its timeout action available, so a
+        network with at least one enabled node is never quiescent.  With
+        every node disabled no event can ever execute again -- deliveries
+        only count toward enabled nodes, and un-flushed outbox messages can
+        never be flushed because flushing happens after a step of their
+        (disabled) owner -- so the network is quiescent regardless of
+        queued messages.
+        """
+        return len(self._disabled) < self.n
 
     # -- topology queries ------------------------------------------------------
 
@@ -91,31 +273,63 @@ class Network:
         Returns the number of messages pushed.  Called by the simulator after
         every atomic step of ``v`` so that emission order is preserved.
         """
+        outbox = self.processes[v].outbox
+        if not len(outbox):
+            return 0
         count = 0
-        for dest, message in self.processes[v].outbox.drain():
+        for dest, message in outbox.drain():
             self.channel(v, dest).send(message)
             count += 1
         return count
 
     def pending_channels(self) -> List[Channel]:
-        """All channels currently holding at least one message."""
-        return [c for c in self.channels.values() if c]
+        """All channels currently holding at least one message (channel order)."""
+        order = self._channel_order
+        return [self.channels[key]
+                for key in sorted(self._active, key=order.__getitem__)]
 
     def pending_messages(self) -> int:
-        """Total number of messages currently in transit."""
-        return sum(len(c) for c in self.channels.values())
+        """Total number of messages currently in transit (O(1))."""
+        return self._pending_total
 
     def is_quiescent(self) -> bool:
         """``True`` when no message is in transit and no outbox is non-empty."""
-        if any(len(p.outbox) for p in self.processes.values()):
+        if self._pending_total:
             return False
-        return self.pending_messages() == 0
+        return not any(len(p.outbox) for p in self.processes.values())
 
     # -- global inspection -----------------------------------------------------
 
     def snapshots(self) -> Dict[NodeId, Dict[str, object]]:
-        """Per-node protocol variable snapshots (for checks and traces)."""
-        return {v: self.processes[v].snapshot() for v in self.node_ids}
+        """Per-node protocol variable snapshots (for checks and traces).
+
+        The result is cached keyed on the configuration version: global
+        checks that run several times against an unchanged configuration
+        (the legitimacy predicate stages, the convergence and closure
+        monitors) share one traversal.  Treat the returned mapping as
+        read-only; it is invalidated by the next configuration change.
+        """
+        cache = self._snap_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        snaps = {v: self.processes[v].snapshot() for v in self.node_ids}
+        self._snap_cache = (self._version, snaps)
+        return snaps
+
+    def snapshot_key(self) -> tuple:
+        """Canonical fingerprint of the observable configuration.
+
+        Two equal keys guarantee equal per-node snapshots, so any pure
+        function of the snapshots (the legitimacy predicate in particular)
+        evaluates identically.  Cached keyed on the configuration version.
+        """
+        cache = self._key_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        snaps = self.snapshots()
+        key = tuple((v, tuple(sorted(snap.items()))) for v, snap in snaps.items())
+        self._key_cache = (self._version, key)
+        return key
 
     def max_state_bits(self) -> int:
         """Maximum per-node persistent state size in bits (memory claim E3)."""

@@ -1,9 +1,14 @@
-"""Schedulers (daemons) driving the asynchronous execution.
+"""Schedulers (daemons): policies over the kernel's enabled-event set.
 
-A *scheduler* decides, within each round, in which order nodes take their
-atomic steps and when in-flight messages get delivered.  Self-stabilization
-results must hold under any (weakly fair) scheduler, so the library provides
-several of them and the test-suite runs the protocol under all:
+A *scheduler* decides, within each round, in which order the enabled events
+of the network execute.  Since the activity-aware kernel refactor the kernel
+itself (:class:`~repro.sim.network.Network`) owns the question of *which*
+events are enabled -- the timeout of every enabled node plus one delivery
+per message queued toward an enabled node, exposed as an
+:class:`~repro.sim.network.EnabledEvents` value -- and a scheduler is a thin
+*policy* deciding only the execution order.  Self-stabilization results must
+hold under any (weakly fair) scheduler, so the library provides several and
+the test-suite runs the protocol under all:
 
 ``SynchronousScheduler``
     Every round, every node first consumes the messages that were in its
@@ -11,8 +16,7 @@ several of them and the test-suite runs the protocol under all:
     performs its timeout action.  Deterministic; the fastest executions.
 
 ``RandomAsyncScheduler``
-    Every round the set of enabled events (one timeout per node plus one
-    delivery per in-flight message) is executed in a random order drawn from
+    Every round the enabled events are executed in a random order drawn from
     a seeded generator.  Models arbitrary asynchronous interleavings while
     remaining weakly fair (every node acts at least once per round).
 
@@ -20,6 +24,12 @@ several of them and the test-suite runs the protocol under all:
     Like the synchronous scheduler, but a chosen set of "slow" links only
     delivers a message every ``max_delay`` rounds.  Models worst-case-ish
     link latencies while preserving reliability/FIFO.
+
+``WeightedFairScheduler``
+    Synchronous deliveries, but node ``v`` performs ``weight(v)`` timeout
+    actions per round instead of one.  Models hot hubs that act faster than
+    the rest of the network while staying weakly fair (every enabled node
+    still steps at least once per round).
 
 Round accounting follows the standard self-stabilization definition: one
 round is an execution fragment in which every node performs at least one
@@ -31,13 +41,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import SchedulerError
 from ..types import NodeId
-from .network import Network
+from .network import EnabledEvents, Network
 from .trace import TraceRecorder
 
 __all__ = [
@@ -46,6 +56,7 @@ __all__ = [
     "SynchronousScheduler",
     "RandomAsyncScheduler",
     "AdversarialScheduler",
+    "WeightedFairScheduler",
     "make_scheduler",
 ]
 
@@ -61,13 +72,27 @@ class RoundStats:
 
 
 class Scheduler(abc.ABC):
-    """Abstract scheduler interface."""
+    """Abstract scheduler: a policy ordering the kernel's enabled events.
+
+    :meth:`run_round` is a template method: it asks the kernel for the
+    enabled-event set at round start and hands it to
+    :meth:`schedule_round`, which concrete schedulers implement purely as
+    an ordering policy using the :meth:`_deliver_one` / :meth:`_timeout_one`
+    step helpers.
+    """
 
     name: str = "abstract"
 
-    @abc.abstractmethod
     def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
         """Execute one round on ``network`` and return its statistics."""
+        stats = RoundStats()
+        self.schedule_round(network, network.enabled_events(), trace, stats)
+        return stats
+
+    @abc.abstractmethod
+    def schedule_round(self, network: Network, events: EnabledEvents,
+                       trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        """Order and execute the round's enabled events (the policy)."""
 
     # -- shared helpers --------------------------------------------------------
 
@@ -80,6 +105,7 @@ class Scheduler(abc.ABC):
         process = network.processes[dst]
         process.on_message(src, message)
         process.steps_taken += 1
+        network.note_step(dst)
         sent = network.flush_outbox(dst)
         stats.steps += 1
         stats.deliveries += 1
@@ -94,12 +120,43 @@ class Scheduler(abc.ABC):
         process = network.processes[v]
         process.on_timeout()
         process.steps_taken += 1
+        network.note_step(v)
         sent = network.flush_outbox(v)
         stats.steps += 1
         stats.timeouts += 1
         stats.messages_sent += sent
         if trace is not None:
             trace.record_timeout(v, sent)
+
+    @staticmethod
+    def _deliveries_by_dst(events: EnabledEvents
+                           ) -> List[Tuple[NodeId, List[Tuple[NodeId, int]]]]:
+        """Group the enabled deliveries by destination, both levels sorted.
+
+        Returns ``(dst, [(src, pending), ...])`` pairs with destinations in
+        increasing id order and sources sorted within each destination --
+        the fixed order the synchronous-style schedulers deliver in.
+        """
+        grouped: Dict[NodeId, List[Tuple[NodeId, int]]] = {}
+        for src, dst, count in events.deliveries:
+            grouped.setdefault(dst, []).append((src, count))
+        return [(dst, sorted(grouped[dst])) for dst in sorted(grouped)]
+
+    def _deliver_round_start_backlog(self, network: Network, events: EnabledEvents,
+                                     trace: Optional[TraceRecorder],
+                                     stats: RoundStats) -> None:
+        """Deliver every message queued at round start, in fixed node order.
+
+        The delivery discipline shared by the synchronous-style schedulers:
+        destinations in increasing id order, sources sorted within each
+        destination, messages emitted during the round left for a later one.
+        """
+        for dst, sources in self._deliveries_by_dst(events):
+            for src, count in sources:
+                for _ in range(count):
+                    if not network.channel(src, dst):
+                        break
+                    self._deliver_one(network, src, dst, trace, stats)
 
 
 class SynchronousScheduler(Scheduler):
@@ -113,23 +170,11 @@ class SynchronousScheduler(Scheduler):
 
     name = "synchronous"
 
-    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
-        stats = RoundStats()
-        # Snapshot how many messages each channel holds at round start so that
-        # messages produced during this round wait until the next one.
-        snapshot: Dict[Tuple[NodeId, NodeId], int] = {
-            key: len(chan) for key, chan in network.channels.items() if chan
-        }
-        for dst in network.node_ids:
-            for src in network.neighbors(dst):
-                count = snapshot.get((src, dst), 0)
-                for _ in range(count):
-                    if not network.channel(src, dst):
-                        break
-                    self._deliver_one(network, src, dst, trace, stats)
-        for v in network.node_ids:
+    def schedule_round(self, network: Network, events: EnabledEvents,
+                       trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        self._deliver_round_start_backlog(network, events, trace, stats)
+        for v in events.timeouts:
             self._timeout_one(network, v, trace, stats)
-        return stats
 
 
 class RandomAsyncScheduler(Scheduler):
@@ -147,24 +192,23 @@ class RandomAsyncScheduler(Scheduler):
     def __init__(self, seed: int | None = None):
         self.rng = np.random.default_rng(seed)
 
-    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
-        stats = RoundStats()
-        events: List[Tuple[str, Tuple[NodeId, ...]]] = []
-        for v in network.node_ids:
-            events.append(("timeout", (v,)))
-        for (src, dst), chan in network.channels.items():
-            for _ in range(len(chan)):
-                events.append(("deliver", (src, dst)))
-        order = self.rng.permutation(len(events))
+    def schedule_round(self, network: Network, events: EnabledEvents,
+                       trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        pool: List[Tuple[str, Tuple[NodeId, ...]]] = []
+        for v in events.timeouts:
+            pool.append(("timeout", (v,)))
+        for src, dst, count in events.deliveries:
+            for _ in range(count):
+                pool.append(("deliver", (src, dst)))
+        order = self.rng.permutation(len(pool))
         for idx in order:
-            kind, args = events[int(idx)]
+            kind, args = pool[int(idx)]
             if kind == "timeout":
                 self._timeout_one(network, args[0], trace, stats)
             else:
                 src, dst = args
                 if network.channel(src, dst):
                     self._deliver_one(network, src, dst, trace, stats)
-        return stats
 
 
 class AdversarialScheduler(Scheduler):
@@ -193,17 +237,11 @@ class AdversarialScheduler(Scheduler):
     def _is_slow(self, link: Tuple[NodeId, NodeId]) -> bool:
         return link in self.slow_links
 
-    def run_round(self, network: Network, trace: Optional[TraceRecorder] = None) -> RoundStats:
-        stats = RoundStats()
-        snapshot: Dict[Tuple[NodeId, NodeId], int] = {
-            key: len(chan) for key, chan in network.channels.items() if chan
-        }
-        for dst in network.node_ids:
-            for src in network.neighbors(dst):
+    def schedule_round(self, network: Network, events: EnabledEvents,
+                       trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        for dst, sources in self._deliveries_by_dst(events):
+            for src, count in sources:
                 link = (src, dst)
-                count = snapshot.get(link, 0)
-                if count == 0:
-                    continue
                 if self._is_slow(link):
                     age = self._age.get(link, 0) + 1
                     if age < self.max_delay:
@@ -216,19 +254,85 @@ class AdversarialScheduler(Scheduler):
                     if not network.channel(src, dst):
                         break
                     self._deliver_one(network, src, dst, trace, stats)
-        for v in network.node_ids:
+        for v in events.timeouts:
             self._timeout_one(network, v, trace, stats)
-        return stats
+
+
+WeightMap = Union[Mapping[NodeId, int], Callable[[NodeId], int]]
+
+
+class WeightedFairScheduler(Scheduler):
+    """Synchronous scheduler with per-node step weights.
+
+    Deliveries behave exactly like :class:`SynchronousScheduler`; the
+    timeout phase runs in *passes*: pass 0 gives every enabled node one
+    timeout action (in id order), pass ``k`` gives another action to every
+    node whose weight exceeds ``k``.  A node with weight ``w`` therefore
+    takes ``w`` timeout steps per round -- useful to stress hot hubs that
+    gossip faster than the rest of the network -- while weak fairness is
+    preserved (every enabled node steps at least once per round, and every
+    queued message is still delivered at the round's start).
+
+    Parameters
+    ----------
+    weights:
+        Mapping or callable giving each node's step weight; nodes absent
+        from a mapping default to ``default_weight``.  Weights must be
+        ``>= 1``.
+    default_weight:
+        Weight of nodes not covered by ``weights``.
+    """
+
+    name = "weighted_fair"
+
+    def __init__(self, weights: Optional[WeightMap] = None, default_weight: int = 1):
+        if default_weight < 1:
+            raise SchedulerError("default_weight must be >= 1 (weak fairness)")
+        self.default_weight = int(default_weight)
+        self._weight_fn: Callable[[NodeId], int]
+        if weights is None:
+            self._weight_fn = lambda v: self.default_weight
+        elif callable(weights):
+            self._weight_fn = weights
+        else:
+            frozen = {int(k): int(w) for k, w in weights.items()}
+            self._weight_fn = lambda v: frozen.get(v, self.default_weight)
+
+    def weight(self, v: NodeId) -> int:
+        """Step weight of node ``v`` (validated ``>= 1``)."""
+        w = int(self._weight_fn(v))
+        if w < 1:
+            raise SchedulerError(f"node {v} has weight {w}; weights must be >= 1")
+        return w
+
+    def schedule_round(self, network: Network, events: EnabledEvents,
+                       trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+        self._deliver_round_start_backlog(network, events, trace, stats)
+        remaining = {v: self.weight(v) for v in events.timeouts}
+        while remaining:
+            for v in events.timeouts:
+                if v in remaining:
+                    self._timeout_one(network, v, trace, stats)
+                    remaining[v] -= 1
+                    if remaining[v] <= 0:
+                        del remaining[v]
 
 
 def make_scheduler(kind: str, seed: int | None = None,
                    slow_links: Sequence[Tuple[NodeId, NodeId]] = (),
-                   max_delay: int = 4) -> Scheduler:
-    """Factory for schedulers by name (``synchronous``/``random``/``adversarial``)."""
+                   max_delay: int = 4,
+                   weights: Optional[WeightMap] = None) -> Scheduler:
+    """Factory for schedulers by name.
+
+    ``synchronous``/``random``/``adversarial``/``weighted`` (the latter
+    accepting per-node step ``weights``).
+    """
     if kind in ("synchronous", "sync"):
         return SynchronousScheduler()
     if kind in ("random", "random_async", "async"):
         return RandomAsyncScheduler(seed=seed)
     if kind in ("adversarial", "slow"):
         return AdversarialScheduler(slow_links=slow_links, max_delay=max_delay, seed=seed)
+    if kind in ("weighted", "weighted_fair"):
+        return WeightedFairScheduler(weights=weights)
     raise SchedulerError(f"unknown scheduler kind {kind!r}")

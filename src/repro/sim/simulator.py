@@ -25,7 +25,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, ConvergenceError
 from .faults import FaultPlan
-from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor
+from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor, PredicateCache
 from .network import Network
 from .scheduler import RoundStats, Scheduler, SynchronousScheduler
 from .trace import TraceRecorder
@@ -37,7 +37,12 @@ Predicate = Callable[[Network], bool]
 
 @dataclass
 class SimulationReport:
-    """Outcome of a :meth:`Simulator.run` call."""
+    """Outcome of a :meth:`Simulator.run` call.
+
+    ``quiescent`` is set when the run stopped early because the kernel had
+    no enabled event left (no enabled node and no deliverable message): no
+    future round could have changed the configuration.
+    """
 
     converged: bool
     rounds: int
@@ -50,6 +55,9 @@ class SimulationReport:
     closure_violations: List[int] = field(default_factory=list)
     fault_rounds: List[int] = field(default_factory=list)
     round_stats: List[RoundStats] = field(default_factory=list)
+    quiescent: bool = False
+    predicate_evaluations: int = 0
+    predicate_cache_hits: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for tabular reporting."""
@@ -90,6 +98,13 @@ class Simulator:
         Optional trace recorder.
     rng:
         Generator used by the fault plan.
+    cache_predicate:
+        When ``True`` (default), wrap the legitimacy predicate in a shared
+        :class:`~repro.sim.monitors.PredicateCache` so the convergence and
+        closure monitors skip re-evaluation while the observable
+        configuration is unchanged.  Disable for predicates that are not
+        pure functions of the per-node snapshots (e.g. ones inspecting
+        channel contents or external state).
     """
 
     def __init__(self,
@@ -100,13 +115,19 @@ class Simulator:
                  invariants: Optional[List[tuple[str, Callable[[Network], bool | str]]]] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  trace: Optional[TraceRecorder] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 cache_predicate: bool = True):
         self.network = network
         self.scheduler = scheduler or SynchronousScheduler()
         self.legitimacy = legitimacy
-        self.monitor = (ConvergenceMonitor(legitimacy, stability_window)
-                        if legitimacy is not None else None)
-        self.closure = ClosureMonitor(legitimacy) if legitimacy is not None else None
+        self.predicate_cache: Optional[PredicateCache] = None
+        monitored: Optional[Predicate] = legitimacy
+        if legitimacy is not None and cache_predicate:
+            self.predicate_cache = PredicateCache(legitimacy)
+            monitored = self.predicate_cache
+        self.monitor = (ConvergenceMonitor(monitored, stability_window)
+                        if monitored is not None else None)
+        self.closure = ClosureMonitor(monitored) if monitored is not None else None
         self.invariant_monitor = (InvariantMonitor(invariants)
                                   if invariants else None)
         self.fault_plan = fault_plan
@@ -123,6 +144,7 @@ class Simulator:
         for v in self.network.node_ids:
             self.network.processes[v].on_start()
             self.network.flush_outbox(v)
+        self.network.note_state_write()
         self._started = True
 
     def step_round(self) -> RoundStats:
@@ -167,7 +189,15 @@ class Simulator:
         all_stats: List[RoundStats] = []
         extra_left = extra_rounds_after_convergence
         converged_at: Optional[int] = None
+        quiescent = False
         while self.rounds_executed < max_rounds:
+            self._start_processes()
+            if not self.network.has_enabled_events():
+                # Quiescence: no enabled timeout and no deliverable message.
+                # No future round can change the configuration, so the
+                # remaining round budget is dead work.
+                quiescent = True
+                break
             stats = self.step_round()
             all_stats.append(stats)
             if self.monitor is None:
@@ -180,8 +210,7 @@ class Simulator:
                                  and self.fault_plan.last_round >= self.rounds_executed)
                 if future_faults:
                     converged_at = None
-                    self.monitor.converged_round = None
-                    self.monitor.consecutive_holds = 0
+                    self.monitor.reset_stability()
                     continue
                 if extra_left > 0:
                     extra_left -= 1
@@ -207,4 +236,9 @@ class Simulator:
             fault_rounds=sorted({e.round_index for e in self.fault_plan.events})
             if self.fault_plan else [],
             round_stats=all_stats,
+            quiescent=quiescent,
+            predicate_evaluations=(self.predicate_cache.evaluations
+                                   if self.predicate_cache else 0),
+            predicate_cache_hits=(self.predicate_cache.hits
+                                  if self.predicate_cache else 0),
         )

@@ -10,6 +10,13 @@ They are used to build legitimacy predicates for the simulator and as oracle
 checks in the test-suite.  They are *not* available to the nodes themselves
 (nodes only see one-hop information); keeping them separate makes the
 local/global distinction explicit.
+
+All functions are pure functions of the snapshot mapping (plus static
+topology), which is the contract the kernel's incremental verification
+relies on: :meth:`repro.sim.network.Network.snapshots` is cached keyed on
+the configuration version, and every function here accepts the cached
+mapping via its ``snapshots`` parameter so a composite predicate traverses
+the network exactly once per changed configuration.
 """
 
 from __future__ import annotations

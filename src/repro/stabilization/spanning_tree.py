@@ -245,14 +245,16 @@ def spanning_tree_process_factory(n_upper: int | None = None):
     return factory
 
 
-def st_legitimacy(network: Network) -> bool:
+def st_legitimacy(network: Network, snapshots=None) -> bool:
     """Global legitimacy predicate of the standalone spanning-tree protocol.
 
     Holds when every node agrees on the smallest identifier as root, parent
     pointers form a spanning tree of the communication graph rooted at that
-    node, and all distances are coherent.
+    node, and all distances are coherent.  A pure function of the per-node
+    snapshots, so it is safe under the simulator's predicate cache; pass
+    ``snapshots`` to reuse an already-computed mapping.
     """
-    snaps = network.snapshots()
+    snaps = snapshots if snapshots is not None else network.snapshots()
     min_id = min(network.node_ids)
     parent: Dict[NodeId, NodeId] = {}
     distance: Dict[NodeId, int] = {}
