@@ -24,9 +24,12 @@ History (record mode, this workload):
 * activity-aware kernel (incremental convergence detection, cached
   snapshots/verdicts, memoized message sizing): ~390-520 rounds/sec
   (>= 2x across repeated measurements)
+* dirty-set incremental snapshots + slotted hot-path state + interned
+  gossip payloads (see docs/performance.md): ~700 rounds/sec
 
 The absolute numbers are machine-dependent; the JSON records the workload
-fingerprint so only like-for-like runs should be compared.
+fingerprint so only like-for-like runs should be compared.  The large-n
+companion suite lives in ``test_bench_scaling.py`` (``BENCH_scaling.json``).
 """
 
 from __future__ import annotations

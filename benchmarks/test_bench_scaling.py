@@ -1,0 +1,171 @@
+"""Large-n scaling benchmark: rounds/sec across network sizes and families.
+
+The paper's Lemma 5 bounds convergence at ``O(m n^2 log n)`` rounds, so
+measuring it meaningfully needs sweeps well beyond the n <= 12 bench
+workloads.  This suite drives the kernel through the runtime engine
+(``throughput`` task) over three qualitatively different graph families --
+sparse Erdős–Rényi, random geometric (the paper's ad-hoc/sensor setting)
+and the hub-heavy barbell -- at n in {16, 32, 64, 128}, and reports
+simulated rounds per wall-clock second.  Convergence is *not* required:
+each instance runs against a fixed per-size round budget, so the metric is
+pure kernel throughput on a live protocol workload.
+
+Two modes, mirroring ``test_bench_kernel_throughput.py``:
+
+* smoke (default) -- n = 16 only with a small round budget; what plain
+  ``pytest`` and the CI smoke job run.  If the committed
+  ``BENCH_scaling.json`` carries a matching smoke record, the test fails
+  when the current machine is more than ``SMOKE_GUARD_FACTOR`` x slower
+  than the recorded number -- a machine-tolerant regression guard, not a
+  strict gate.
+* record (``REPRO_BENCH_RECORD=1``) -- the full matrix; writes
+  ``BENCH_scaling.json`` (including a fresh smoke record for the guard)
+  and asserts the n=64 aggregate is >= 2x the pre-refactor kernel.
+
+History (record mode, n=64 aggregate over the three families):
+
+* pre-dirty-set kernel (PR 2 state): ~26.6 rounds/sec
+* dirty-set incremental snapshots + slotted hot-path state + interned
+  gossip payloads: >= 2x that, recorded in ``BENCH_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.runtime.engine import SweepEngine
+from repro.runtime.spec import RunSpec
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+#: The scaling workload: families x sizes, one seed, synchronous scheduler,
+#: isolated cold start, fixed per-size round budgets (larger networks get
+#: smaller budgets so the record run stays laptop-friendly).
+FAMILIES: Tuple[str, ...] = ("erdos_renyi_sparse", "random_geometric", "barbell")
+SIZES: Tuple[int, ...] = (16, 32, 64, 128)
+ROUND_BUDGETS: Dict[int, int] = {16: 240, 32: 160, 64: 120, 128: 60}
+SEED = 11
+
+#: Smoke workload: small, fast, fixed -- the CI guard compares like for like.
+SMOKE_SIZES: Tuple[int, ...] = (16,)
+SMOKE_BUDGET = 60
+
+#: Fail smoke mode only when throughput drops more than this factor below
+#: the committed record (absorbs machine-to-machine variation).
+SMOKE_GUARD_FACTOR = 5.0
+
+#: Pre-refactor kernel (PR 2 state) rounds/sec on this exact workload at
+#: n=64, per family, measured on the reference machine before the dirty-set
+#: refactor.  The >= 2x acceptance target is evaluated against the
+#: aggregate (total rounds / total seconds) of these runs.
+PRE_REFACTOR_N64 = {
+    "erdos_renyi_sparse": 42.96,
+    "random_geometric": 61.76,
+    "barbell": 13.65,
+}
+PRE_REFACTOR_N64_AGGREGATE = 26.63
+
+
+def _workload_fingerprint(sizes: Tuple[int, ...], budgets: Dict[int, int]) -> Dict[str, object]:
+    return {
+        "families": list(FAMILIES),
+        "sizes": list(sizes),
+        "round_budgets": {str(n): budgets[n] for n in sizes},
+        "seed": SEED,
+        "scheduler": "synchronous",
+        "initial": "isolated",
+        "task": "throughput",
+    }
+
+
+def _specs(sizes: Tuple[int, ...], budgets: Dict[int, int]) -> List[RunSpec]:
+    return [RunSpec(task="throughput", family=family, n=n, seed=SEED,
+                    scheduler="synchronous", initial="isolated",
+                    max_rounds=budgets[n])
+            for family in FAMILIES for n in sizes]
+
+
+def _run(sizes: Tuple[int, ...], budgets: Dict[int, int]) -> List[Dict[str, object]]:
+    """Execute the workload serially through the sweep engine (no cache)."""
+    engine = SweepEngine(workers=1, cache=None)
+    return [outcome.row for outcome in engine.execute(_specs(sizes, budgets))]
+
+
+def _aggregate(rows: List[Dict[str, object]]) -> float:
+    seconds = sum(float(row["seconds"]) for row in rows)
+    rounds = sum(int(row["rounds"]) for row in rows)
+    return round(rounds / seconds, 2) if seconds > 0 else 0.0
+
+
+def test_scaling_throughput():
+    record = os.environ.get("REPRO_BENCH_RECORD", "") == "1"
+
+    if not record:
+        rows = _run(SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES})
+        current = _aggregate(rows)
+        print()
+        print(f"scaling throughput (smoke): {current} rounds/sec over "
+              f"{len(rows)} instances (n={list(SMOKE_SIZES)})")
+        assert current > 0
+        guard = None
+        if OUTPUT_PATH.exists():
+            committed = json.loads(OUTPUT_PATH.read_text())
+            guard = committed.get("smoke_guard")
+        if guard and guard.get("workload") == _workload_fingerprint(
+                SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES}):
+            floor = float(guard["rounds_per_sec"]) / SMOKE_GUARD_FACTOR
+            print(f"smoke guard: recorded {guard['rounds_per_sec']} rounds/sec, "
+                  f"floor {round(floor, 2)}")
+            assert current >= floor, (
+                f"scaling smoke throughput {current} rounds/sec is more than "
+                f"{SMOKE_GUARD_FACTOR}x below the committed record "
+                f"{guard['rounds_per_sec']} (see BENCH_scaling.json)")
+        else:
+            print("smoke guard: no matching committed record, guard skipped")
+        return
+
+    # -- record mode: full matrix + fresh smoke record ----------------------
+    rows = _run(SIZES, ROUND_BUDGETS)
+    by_n = {n: _aggregate([r for r in rows if r["n"] == n]) for n in SIZES}
+    n64_rows = [r for r in rows if r["n"] == 64]
+    n64 = _aggregate(n64_rows)
+    speedup = round(n64 / PRE_REFACTOR_N64_AGGREGATE, 2)
+
+    smoke_rows = _run(SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES})
+    payload = {
+        "benchmark": "scaling_throughput",
+        "mode": "record",
+        "workload": _workload_fingerprint(SIZES, ROUND_BUDGETS),
+        "runs": rows,
+        "rounds_per_sec_by_n": {str(n): by_n[n] for n in SIZES},
+        "rounds_per_sec": _aggregate(rows),
+        "n64": {
+            "rounds_per_sec": n64,
+            "pre_refactor_rounds_per_sec": PRE_REFACTOR_N64_AGGREGATE,
+            "pre_refactor_by_family": PRE_REFACTOR_N64,
+            "speedup": speedup,
+            "note": "pre-refactor numbers are the PR 2 kernel on this exact "
+                    "workload on the reference machine; compare trends, not "
+                    "absolutes, across machines",
+        },
+        "smoke_guard": {
+            "workload": _workload_fingerprint(
+                SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES}),
+            "rounds_per_sec": _aggregate(smoke_rows),
+            "guard_factor": SMOKE_GUARD_FACTOR,
+        },
+        "unix_time": int(time.time()),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"scaling throughput (record): n=64 at {n64} rounds/sec "
+          f"({speedup}x pre-refactor) -> {OUTPUT_PATH.name}")
+    for n in SIZES:
+        print(f"  n={n}: {by_n[n]} rounds/sec")
+    assert n64 >= 2.0 * PRE_REFACTOR_N64_AGGREGATE, (
+        f"n=64 throughput {n64} rounds/sec misses the 2x target over the "
+        f"pre-refactor kernel ({PRE_REFACTOR_N64_AGGREGATE} rounds/sec)")

@@ -17,8 +17,9 @@ two hold.
 
 Kernel integration: every stage accepts the pre-computed per-node snapshot
 mapping so a full evaluation traverses the network exactly once (the kernel
-caches :meth:`~repro.sim.network.Network.snapshots` keyed on its
-configuration version).  The predicate built by :func:`make_mdst_legitimacy`
+maintains :meth:`~repro.sim.network.Network.snapshots` incrementally from
+its dirty-node set and returns read-only views, so predicates can neither
+pay for unchanged nodes nor corrupt the shared cache).  The predicate built by :func:`make_mdst_legitimacy`
 additionally memoizes the expensive condition 3 on the induced tree edge
 set: the planner verdict is a pure function of ``(graph, tree_edges)``, and
 during an execution the induced tree changes far more rarely than the

@@ -32,15 +32,14 @@ Two notes on fidelity:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..sim.messages import Message
+from ..sim.messages import Message, message_dataclass
 
 __all__ = ["MInfo", "Search", "Remove", "Back", "Deblock", "Reverse", "UpdateDist"]
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class MInfo(Message):
     """``InfoMsg``: periodic gossip of all protocol variables of the sender."""
 
@@ -53,7 +52,7 @@ class MInfo(Message):
     color: bool          # color_tree_v: local dmax-consistency flag
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class Search(Message):
     """DFS token looking for the fundamental cycle of ``init_edge``.
 
@@ -72,7 +71,7 @@ class Search(Message):
     visited: Tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class Remove(Message):
     """Improvement driver circulating along a fundamental cycle.
 
@@ -92,7 +91,7 @@ class Remove(Message):
     reversing: bool = False
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class Back(Message):
     """Re-orientation wave travelling back toward the initiator (Fig. 5(b))."""
 
@@ -101,21 +100,21 @@ class Back(Message):
     position: int        # index in ``path`` of the node this hop is addressed to
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class Deblock(Message):
     """Request to reduce the degree of blocking node ``idblock``."""
 
     idblock: int
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class Reverse(Message):
     """Point-to-point parent re-orientation up to ``target`` (Reverse_Aux)."""
 
     target: int
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class UpdateDist(Message):
     """Distance refresh propagated down a re-oriented path."""
 

@@ -79,6 +79,11 @@ class MDSTNode(Process):
         layers (used by ablation benchmarks).
     """
 
+    __slots__ = ("n_upper", "search_period", "deblock_cooldown",
+                 "enable_reduction", "_jitter", "s", "_search_cursor",
+                 "_timeout_count", "_deblock_seen", "stats",
+                 "_gossip_sig", "_gossip_msg")
+
     def __init__(self, node_id: NodeId, neighbors: Sequence[NodeId],
                  n_upper: int | None = None,
                  search_period: int = 3,
@@ -105,6 +110,13 @@ class MDSTNode(Process):
         self._search_cursor = 0
         self._timeout_count = 0
         self._deblock_seen: Dict[int, int] = {}
+        # Interned gossip payload: the (immutable) MInfo of the last gossip
+        # and the variable tuple it was built from.  While the gossiped
+        # variables are unchanged the same message object is re-broadcast,
+        # avoiding one frozen-dataclass allocation (and one size-accounting
+        # pass) per node per round in stable phases.
+        self._gossip_sig: Optional[Tuple[int, int, int, int, int, int, bool]] = None
+        self._gossip_msg: Optional[MInfo] = None
         # Counters exposed to the analysis layer (not protocol state).
         self.stats = {
             "searches_initiated": 0,
@@ -121,7 +133,11 @@ class MDSTNode(Process):
     # ======================================================================
 
     def _better_parent(self) -> bool:
-        return any(v.heard and v.root < self.s.root for v in self.s.view.values())
+        root = self.s.root
+        for v in self.s.view.values():
+            if v.heard and v.root < root:
+                return True
+        return False
 
     def _coherent_parent(self) -> bool:
         st = self.s
@@ -187,26 +203,45 @@ class MDSTNode(Process):
     # ======================================================================
 
     def _update_degree_layer(self) -> None:
+        # One fused pass over the neighbour views computes the node's tree
+        # degree and the maximum ``sub_max`` among its children (the two
+        # quantities the PIF feedback aggregates); semantics are identical
+        # to deriving them separately, just without the intermediate lists.
         st = self.s
-        own_degree = st.degree
-        best = own_degree
-        for u in st.children():
-            best = max(best, st.view[u].sub_max)
-        st.sub_max = best
-        if st.parent == self.node_id:
+        me = self.node_id
+        parent = st.parent
+        degree = 0
+        child_max: Optional[int] = None
+        for u, nv in st.view.items():
+            if nv.heard and nv.parent == me:
+                degree += 1
+                if child_max is None or nv.sub_max > child_max:
+                    child_max = nv.sub_max
+            elif parent == u:
+                degree += 1
+        st.sub_max = degree if child_max is None or degree > child_max else child_max
+        if parent == me:
             st.dmax = st.sub_max
         else:
-            pv = st.view.get(st.parent)
+            pv = st.view.get(parent)
             st.dmax = pv.dmax if pv is not None and pv.heard else st.sub_max
         st.color = self._degree_stabilized()
 
     def _degree_stabilized(self) -> bool:
         """Paper predicate ``degree_stabilized(v)``: neighbourhood agrees on dmax."""
-        return all((not v.heard) or v.dmax == self.s.dmax for v in self.s.view.values())
+        dmax = self.s.dmax
+        for v in self.s.view.values():
+            if v.heard and v.dmax != dmax:
+                return False
+        return True
 
     def _color_stabilized(self) -> bool:
         """Paper predicate ``color_stabilized(v)``."""
-        return all((not v.heard) or v.color == self.s.color for v in self.s.view.values())
+        color = self.s.color
+        for v in self.s.view.values():
+            if v.heard and v.color != color:
+                return False
+        return True
 
     def locally_stabilized(self) -> bool:
         """Paper predicate ``locally_stabilized(v)`` gating the reduction layer."""
@@ -224,9 +259,16 @@ class MDSTNode(Process):
 
     def _gossip(self) -> None:
         st = self.s
-        self.broadcast(MInfo(root=st.root, parent=st.parent, distance=st.distance,
-                             degree=st.degree, sub_max=st.sub_max, dmax=st.dmax,
-                             color=st.color))
+        sig = (st.root, st.parent, st.distance, st.degree, st.sub_max,
+               st.dmax, st.color)
+        msg = self._gossip_msg
+        if msg is None or sig != self._gossip_sig:
+            msg = MInfo(root=sig[0], parent=sig[1], distance=sig[2],
+                        degree=sig[3], sub_max=sig[4], dmax=sig[5],
+                        color=sig[6])
+            self._gossip_sig = sig
+            self._gossip_msg = msg
+        self.broadcast(msg)
 
     def on_timeout(self) -> None:
         self._timeout_count += 1

@@ -449,6 +449,8 @@ GRAPH_FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
     "random_regular": lambda n, seed=None: random_regular_connected(
         n if (n * 3) % 2 == 0 else n + 1, 3, seed=seed),
     "star_of_cliques": lambda n, seed=None: star_of_cliques(max(n // 5, 2), 4),
+    "barbell": lambda n, seed=None: barbell_graph(
+        max(n // 2, 3), max(n - 2 * max(n // 2, 3), 0)),
     "spider": lambda n, seed=None: spider_graph(max(n // 4, 2), 3),
     "lollipop": lambda n, seed=None: lollipop_graph(max(n // 2, 3), max(n // 2, 1)),
     "two_hub": lambda n, seed=None: two_hub_graph(max(n - 2, 2)),

@@ -33,7 +33,7 @@ from ..analysis.convergence import ConvergenceRecord, aggregate_records
 from ..analysis.reporting import ExperimentReport
 from .cache import ResultCache
 from .spec import RunSpec, SweepSpec
-from .tasks import RunOutcome, execute_spec
+from .tasks import UNCACHEABLE_TASKS, RunOutcome, execute_spec
 
 __all__ = ["SweepEngine", "EngineStats", "default_workers", "run_sweep"]
 
@@ -94,7 +94,10 @@ class SweepEngine:
         pending: List[int] = []
         hits = 0
         for i, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
+            # Timing tasks are never cached: a stored wall-clock measurement
+            # would masquerade as a fresh one.
+            cacheable = self.cache is not None and spec.task not in UNCACHEABLE_TASKS
+            cached = self.cache.get(spec) if cacheable else None
             if cached is not None:
                 outcomes[i] = cached
                 hits += 1
@@ -103,7 +106,7 @@ class SweepEngine:
         fresh = self._run_pending([specs[i] for i in pending])
         for i, outcome in zip(pending, fresh):
             outcomes[i] = outcome
-            if self.cache is not None:
+            if self.cache is not None and outcome.spec.task not in UNCACHEABLE_TASKS:
                 self.cache.put(outcome)
         self.last_stats = EngineStats(
             total=len(specs),

@@ -19,6 +19,8 @@ The registry covers every kind of measurement the E1-E8 experiments need:
 ``baselines``  naive spanning trees vs reference vs local search (E6)
 ``hub``        serialized-vs-concurrent reduction model + protocol (E7)
 ``improvement`` single-improvement micro-benchmark on a hard-hub graph (E8)
+``throughput`` timed protocol execution reporting rounds/sec (the large-n
+               scaling benchmark; never cached by the engine)
 =============  ==============================================================
 
 Protocol-style tasks execute on the activity-aware simulation kernel via
@@ -32,6 +34,7 @@ through the ``node_weights`` task parameter (see
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -51,7 +54,8 @@ from ..graphs.spanning import bfs_spanning_tree, tree_degree
 from ..sim.faults import FaultPlan
 from .spec import RunSpec
 
-__all__ = ["RunOutcome", "TASKS", "execute_spec", "task_names"]
+__all__ = ["RunOutcome", "TASKS", "UNCACHEABLE_TASKS", "execute_spec",
+           "task_names"]
 
 
 @dataclass
@@ -293,8 +297,48 @@ def run_improvement_task(spec: RunSpec) -> RunOutcome:
     return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
 
 
+def run_throughput_task(spec: RunSpec) -> RunOutcome:
+    """Kernel throughput measurement: simulated rounds per wall-clock second.
+
+    Drives one full protocol execution (same code path as ``protocol``) and
+    times the simulation only -- graph construction is excluded.  Used by the
+    scaling benchmark (``benchmarks/test_bench_scaling.py``) to chart
+    rounds/sec across network sizes and graph families.  Convergence is
+    reported but *not* required: large instances run against a fixed round
+    budget.  The engine never caches these rows (see
+    :data:`UNCACHEABLE_TASKS`) -- a cached wall-clock measurement would
+    masquerade as a fresh one.
+    """
+    graph = spec.build_graph()
+    config = spec.mdst_config()
+    start = time.perf_counter()
+    result = run_mdst(graph, config, fault_plan=_fault_plan(spec))
+    seconds = time.perf_counter() - start
+    row: Dict[str, object] = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "scheduler": spec.scheduler,
+        "initial": spec.initial,
+        "max_rounds": spec.max_rounds,
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "tree_degree": result.tree_degree,
+        "seconds": round(seconds, 4),
+        "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
+    }
+    return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
+
+
+#: Tasks whose rows are wall-clock measurements: the engine never serves
+#: them from (or writes them to) the result cache -- a cached timing row
+#: would silently masquerade as a fresh measurement.
+UNCACHEABLE_TASKS = frozenset({"throughput"})
+
 TASKS: Dict[str, Callable[[RunSpec], RunOutcome]] = {
     "protocol": run_protocol_task,
+    "throughput": run_throughput_task,
     "reference": run_reference_task,
     "memory": run_memory_task,
     "quality": run_quality_task,

@@ -7,7 +7,8 @@ the provided schedulers, with fault injection and tracing.
 
 from .channel import Channel, ChannelStats
 from .faults import FaultEvent, FaultPlan, corrupt_channels, corrupt_everything, corrupt_states
-from .messages import GarbageMessage, Message, estimate_bits, id_bits
+from .messages import (GarbageMessage, Message, estimate_bits, id_bits,
+                       message_dataclass)
 from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor, PredicateCache
 from .network import EnabledEvents, Network, ProcessFactory
 from .node import Outbox, Process

@@ -10,7 +10,6 @@ were sent, no message is lost and no message is duplicated.  A
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Iterator, List, Tuple
 
 from ..exceptions import ChannelError
@@ -20,14 +19,34 @@ from .messages import Message
 __all__ = ["Channel", "ChannelStats"]
 
 
-@dataclass
 class ChannelStats:
-    """Cumulative statistics for one directed channel."""
+    """Cumulative statistics for one directed channel.
 
-    sent: int = 0
-    delivered: int = 0
-    max_queue_length: int = 0
-    max_message_bits: int = 0
+    A slotted plain class rather than a dataclass: every send updates three
+    of these counters, so the fixed attribute layout is worth the few lines
+    of boilerplate.
+    """
+
+    __slots__ = ("sent", "delivered", "max_queue_length", "max_message_bits")
+
+    def __init__(self, sent: int = 0, delivered: int = 0,
+                 max_queue_length: int = 0, max_message_bits: int = 0):
+        self.sent = sent
+        self.delivered = delivered
+        self.max_queue_length = max_queue_length
+        self.max_message_bits = max_message_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ChannelStats(sent={self.sent}, delivered={self.delivered}, "
+                f"max_queue_length={self.max_queue_length}, "
+                f"max_message_bits={self.max_message_bits})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelStats):
+            return NotImplemented
+        return (self.sent == other.sent and self.delivered == other.delivered
+                and self.max_queue_length == other.max_queue_length
+                and self.max_message_bits == other.max_message_bits)
 
 
 class Channel:
@@ -66,11 +85,16 @@ class Channel:
         if not isinstance(message, Message):
             raise ChannelError(
                 f"only Message instances may be sent, got {type(message).__name__}")
-        self._queue.append(message)
-        self.stats.sent += 1
-        self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+        queue = self._queue
+        queue.append(message)
+        stats = self.stats
+        stats.sent += 1
+        length = len(queue)
+        if length > stats.max_queue_length:
+            stats.max_queue_length = length
         bits = message.size_bits(self._network_size)
-        self.stats.max_message_bits = max(self.stats.max_message_bits, bits)
+        if bits > stats.max_message_bits:
+            stats.max_message_bits = bits
         if self._on_change is not None:
             self._on_change(self, 1)
 

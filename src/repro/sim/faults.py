@@ -57,8 +57,9 @@ def corrupt_states(network: Network, rng: np.random.Generator,
             raise ConfigurationError(f"cannot corrupt unknown nodes {sorted(unknown)}")
     for v in chosen:
         network.processes[v].corrupt(rng)
-    if chosen:
-        network.note_state_write()
+        # Per-node notification keeps the kernel's snapshot invalidation
+        # proportional to the corrupted set rather than the whole network.
+        network.note_state_write(v)
     return chosen
 
 

@@ -16,19 +16,45 @@ Size accounting convention
 
 This mirrors the paper's accounting, where all variables are "of size
 O(log n) bits".
+
+Hot-path layout
+---------------
+Message objects are the single most allocated kind of object in a
+simulation, so the hierarchy is kept as flat as the interpreter allows:
+on Python >= 3.10 every message class declared through
+:func:`message_dataclass` is a *slotted* frozen dataclass (no per-instance
+``__dict__``), and the per-instance size cache is an ordinary slot.  On 3.9
+the classes fall back to plain frozen dataclasses with identical semantics.
 """
 
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field, fields, is_dataclass
 from functools import lru_cache
-from typing import Any, Iterable
+from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["Message", "estimate_bits", "id_bits"]
+__all__ = ["Message", "estimate_bits", "id_bits", "message_dataclass"]
 
 #: Constant cost (bits) of the message type tag.
 TYPE_TAG_BITS = 4
+
+
+if sys.version_info >= (3, 10):
+    def message_dataclass(cls):
+        """Declare a message type: frozen dataclass, slotted where supported.
+
+        Use instead of ``@dataclass(frozen=True)`` for every class in the
+        message hierarchy; third-party subclasses declared with a plain
+        ``@dataclass(frozen=True)`` remain fully compatible (they simply
+        keep a ``__dict__``).
+        """
+        return dataclass(frozen=True, slots=True)(cls)
+else:  # pragma: no cover - exercised by the 3.9 CI lane
+    def message_dataclass(cls):
+        """Declare a message type (3.9 fallback: no ``__slots__``)."""
+        return dataclass(frozen=True)(cls)
 
 
 @lru_cache(maxsize=1024)
@@ -45,6 +71,11 @@ def estimate_bits(value: Any, n: int) -> int:
     """Recursively estimate the encoded size of ``value`` in bits.
 
     ``n`` is the network size used to cost identifiers/integers.
+
+    The estimate is *deterministic* for every supported container: sets and
+    frozensets are costed as a commutative sum of their elements' costs (plus
+    a length field), so the result never depends on the hash-seed-dependent
+    iteration order of the set.
     """
     if value is None:
         return 1
@@ -57,24 +88,47 @@ def estimate_bits(value: Any, n: int) -> int:
     if isinstance(value, str):
         return 8 * len(value)
     if isinstance(value, (list, tuple, set, frozenset)):
-        return id_bits(n) + sum(estimate_bits(item, n) for item in value)
+        # Length field + summed element costs.  A set's iteration order is
+        # hash-seed dependent, but addition commutes, so the estimate is
+        # identical across processes/PYTHONHASHSEED values.
+        total = id_bits(n)
+        for item in value:
+            total += estimate_bits(item, n)
+        return total
     if isinstance(value, dict):
-        return id_bits(n) + sum(
-            estimate_bits(k, n) + estimate_bits(v, n) for k, v in value.items())
+        total = id_bits(n)
+        for k, v in value.items():
+            total += estimate_bits(k, n) + estimate_bits(v, n)
+        return total
     if is_dataclass(value) and not isinstance(value, type):
-        return sum(estimate_bits(getattr(value, f.name), n) for f in fields(value))
+        # Private fields (the size cache of nested messages) are transport
+        # metadata, not payload; they are never costed.
+        return sum(estimate_bits(getattr(value, f.name), n)
+                   for f in fields(value) if not f.name.startswith("_"))
     # Fallback: unknown objects cost one identifier.
     return id_bits(n)
 
 
-@dataclass(frozen=True)
+#: Per-class cache of payload field names (private fields excluded), so the
+#: sizing hot path never re-enumerates ``dataclasses.fields``.
+_PAYLOAD_FIELDS: Dict[type, Tuple[str, ...]] = {}
+
+
+@message_dataclass
 class Message:
     """Base class of all protocol messages.
 
     Subclasses are frozen dataclasses; immutability guarantees that a message
     cannot be mutated after being placed on a channel (which would violate
-    the message-passing abstraction).
+    the message-passing abstraction).  Declare subclasses with
+    :func:`message_dataclass` to keep them slotted on interpreters that
+    support it; a plain ``@dataclass(frozen=True)`` works too.
     """
+
+    #: Per-instance ``(n, bits)`` size cache -- transport metadata, excluded
+    #: from equality, hashing, repr and the size accounting itself.
+    _size_bits_cache: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def type_name(self) -> str:
         """Short human-readable type name used by traces and statistics."""
@@ -91,18 +145,23 @@ class Message:
         lives and dies with the message object -- nothing is retained
         globally across simulations.
         """
-        cached = self.__dict__.get("_size_bits_cache")
+        cached = getattr(self, "_size_bits_cache", None)
         if cached is not None and cached[0] == n:
             return cached[1]
-        payload = 0
-        for f in fields(self):
-            payload += estimate_bits(getattr(self, f.name), n)
-        bits = TYPE_TAG_BITS + payload
+        cls = type(self)
+        names = _PAYLOAD_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(self)
+                          if not f.name.startswith("_"))
+            _PAYLOAD_FIELDS[cls] = names
+        bits = TYPE_TAG_BITS
+        for name in names:
+            bits += estimate_bits(getattr(self, name), n)
         object.__setattr__(self, "_size_bits_cache", (n, bits))
         return bits
 
 
-@dataclass(frozen=True)
+@message_dataclass
 class GarbageMessage(Message):
     """An arbitrary junk message used by fault injection.
 

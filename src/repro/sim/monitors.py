@@ -29,6 +29,12 @@ exactly, any predicate that is a pure function of the per-node snapshots
 redundant re-evaluations are skipped.  The simulator shares one cache
 between the convergence and closure monitors, so the post-convergence
 closure check of an unchanged configuration is free.
+
+The kernel maintains the fingerprint itself incrementally (dirty-node set,
+per-node cached key tuples -- see ``docs/performance.md``): when the
+observable configuration is unchanged the kernel hands back the *same key
+object*, so the cache's equality test short-circuits on identity, and when
+only a few nodes changed the comparison fails fast on their entries.
 """
 
 from __future__ import annotations

@@ -36,12 +36,37 @@ system:
 * :meth:`has_enabled_events` is the quiescence test the simulator uses to
   short-circuit the round loop: with no enabled event, no future round can
   change the configuration.
+
+Dirty-set incremental snapshots
+-------------------------------
+Global checks used to pay O(n * state) per configuration change: every
+:meth:`snapshots` rebuild re-snapshotted every node and every
+:meth:`snapshot_key` re-sorted every node's variable dict.  The kernel now
+tracks a **dirty-node set** -- the nodes whose reported state *may* have
+changed since the caches were last refreshed (:meth:`note_step` marks the
+stepping node, :meth:`note_state_write` marks everything or a named node) --
+and keeps three per-node caches:
+
+* the node's last snapshot dict (refreshed only while the node is dirty,
+  and *kept* when the fresh snapshot compares equal, which is the common
+  case once a region of the network has stabilized);
+* a read-only :class:`~types.MappingProxyType` view of that dict (what
+  callers of :meth:`snapshots` actually see, so a misbehaving monitor
+  cannot corrupt the cache shared with the legitimacy predicate);
+* the node's fingerprint tuple (re-sorted only when the snapshot dict
+  actually changed).
+
+The global :meth:`snapshot_key` is assembled from the cached per-node
+fingerprints, and when *no* per-node fingerprint changed the previous key
+tuple object is returned as-is -- downstream verdict caches then compare
+mostly-identical objects, which short-circuits element-by-element.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -120,8 +145,25 @@ class Network:
         self._active: set[ChannelKey] = set()
         self._pending_total = 0
         self._channel_order: Dict[ChannelKey, int] = {}
-        self._snap_cache: Optional[Tuple[int, Dict[NodeId, Dict[str, object]]]] = None
+        # Dirty-set snapshot caches: nodes whose reported state may have
+        # changed since the per-node caches were refreshed, the cached
+        # per-node snapshot dicts / read-only views / fingerprint tuples,
+        # and the version-keyed assembled results.
+        self._dirty: set[NodeId] = set(self.node_ids)
+        self._node_snaps: Dict[NodeId, Dict[str, object]] = {}
+        self._node_views: Dict[NodeId, Mapping[str, object]] = {}
+        self._node_keys: Dict[NodeId, tuple] = {}
+        self._snaps_stale = True
+        self._snaps_view: Optional[Mapping[NodeId, Mapping[str, object]]] = None
+        self._snaps_version = -1
         self._key_cache: Optional[Tuple[int, tuple]] = None
+        # Non-empty-outbox count for the O(1) quiescence test; watchers are
+        # installed below, after which the count is maintained incrementally.
+        self._nonempty_outboxes = 0
+        for proc in self.processes.values():
+            proc.outbox.watch(self._outbox_changed)
+        self._nonempty_outboxes = sum(
+            1 for proc in self.processes.values() if len(proc.outbox))
         # Two directed channels per undirected edge, watched for activity.
         self.channels: Dict[ChannelKey, Channel] = {}
         for u, v in graph.edges:
@@ -153,26 +195,36 @@ class Network:
             self._active.discard(key)
         self._version += 1
 
+    def _outbox_changed(self, outbox, delta: int) -> None:
+        """Activity hook installed on every process outbox (append/drain)."""
+        self._nonempty_outboxes += delta
+
     def note_step(self, v: NodeId) -> None:
         """Record that node ``v`` executed an atomic step (potential state write).
 
         Called by the scheduler helpers after every timeout action and every
-        message receipt; conservatively bumps the configuration version.
+        message receipt; conservatively bumps the configuration version and
+        marks ``v`` dirty for the incremental snapshot caches.
         """
         self._version += 1
+        self._dirty.add(v)
 
-    def note_state_write(self) -> None:
+    def note_state_write(self, node: Optional[NodeId] = None) -> None:
         """Record an out-of-band state mutation (faults, initial configurations).
 
         Any code that writes process state without going through a scheduled
         step -- fault injection, initial-configuration installers, test
         harnesses poking at ``network.processes[v]`` directly -- must call
         this so version-keyed caches (snapshots, predicate verdicts) are
-        invalidated.
+        invalidated.  Pass ``node`` when exactly one node was written to keep
+        the invalidation proportional; the default conservatively marks every
+        node dirty.
         """
         self._version += 1
-        self._snap_cache = None
-        self._key_cache = None
+        if node is None:
+            self._dirty.update(self.node_ids)
+        else:
+            self._dirty.add(node)
 
     # -- enabled nodes ----------------------------------------------------------
 
@@ -293,41 +345,93 @@ class Network:
         return self._pending_total
 
     def is_quiescent(self) -> bool:
-        """``True`` when no message is in transit and no outbox is non-empty."""
-        if self._pending_total:
-            return False
-        return not any(len(p.outbox) for p in self.processes.values())
+        """``True`` when no message is in transit and no outbox is non-empty.
+
+        O(1): the kernel counts messages in transit and non-empty outboxes
+        incrementally (channel and outbox activity hooks) instead of
+        scanning every channel and every process.
+        """
+        return self._pending_total == 0 and self._nonempty_outboxes == 0
 
     # -- global inspection -----------------------------------------------------
 
-    def snapshots(self) -> Dict[NodeId, Dict[str, object]]:
+    def _refresh_dirty(self) -> None:
+        """Re-snapshot every dirty node, keeping caches for unchanged ones.
+
+        A dirty node whose fresh snapshot compares equal to the cached one
+        keeps its cached dict, read-only view and fingerprint tuple; only
+        genuinely changed nodes invalidate their fingerprint (re-sorted
+        lazily by :meth:`snapshot_key`) and mark the assembled global view
+        stale.
+        """
+        dirty = self._dirty
+        if not dirty:
+            return
+        processes = self.processes
+        node_snaps = self._node_snaps
+        for v in dirty:
+            snap = processes[v].snapshot()
+            if node_snaps.get(v) == snap:
+                continue
+            node_snaps[v] = snap
+            self._node_views[v] = MappingProxyType(snap)
+            self._node_keys.pop(v, None)
+            self._snaps_stale = True
+        dirty.clear()
+
+    def snapshots(self) -> Mapping[NodeId, Mapping[str, object]]:
         """Per-node protocol variable snapshots (for checks and traces).
 
-        The result is cached keyed on the configuration version: global
-        checks that run several times against an unchanged configuration
-        (the legitimacy predicate stages, the convergence and closure
-        monitors) share one traversal.  Treat the returned mapping as
-        read-only; it is invalidated by the next configuration change.
+        The result is cached keyed on the configuration version and
+        refreshed incrementally from the dirty-node set: global checks that
+        run several times against an unchanged configuration (the
+        legitimacy predicate stages, the convergence and closure monitors)
+        share one traversal, and a configuration change only re-snapshots
+        the nodes that stepped or were written since the last refresh.
+
+        The returned mapping (and each per-node mapping inside it) is a
+        read-only view: callers cannot corrupt the cache shared with the
+        legitimacy predicate.  A view reflects the configuration at the
+        time of the call; request a fresh one after further mutation.
         """
-        cache = self._snap_cache
-        if cache is not None and cache[0] == self._version:
-            return cache[1]
-        snaps = {v: self.processes[v].snapshot() for v in self.node_ids}
-        self._snap_cache = (self._version, snaps)
-        return snaps
+        if self._snaps_view is not None and self._snaps_version == self._version:
+            return self._snaps_view
+        self._refresh_dirty()
+        if self._snaps_stale or self._snaps_view is None:
+            views = self._node_views
+            self._snaps_view = MappingProxyType(
+                {v: views[v] for v in self.node_ids})
+            self._snaps_stale = False
+        self._snaps_version = self._version
+        return self._snaps_view
 
     def snapshot_key(self) -> tuple:
         """Canonical fingerprint of the observable configuration.
 
         Two equal keys guarantee equal per-node snapshots, so any pure
         function of the snapshots (the legitimacy predicate in particular)
-        evaluates identically.  Cached keyed on the configuration version.
+        evaluates identically.  Cached keyed on the configuration version
+        and assembled from cached per-node fingerprint tuples: only nodes
+        whose snapshot actually changed since the previous key are
+        re-sorted, and when nothing changed the previous key object itself
+        is returned.
         """
         cache = self._key_cache
         if cache is not None and cache[0] == self._version:
             return cache[1]
-        snaps = self.snapshots()
-        key = tuple((v, tuple(sorted(snap.items()))) for v, snap in snaps.items())
+        self._refresh_dirty()
+        keys = self._node_keys
+        refreshed = False
+        for v in self.node_ids:
+            if v not in keys:
+                keys[v] = (v, tuple(sorted(self._node_snaps[v].items())))
+                refreshed = True
+        if refreshed or cache is None:
+            key = tuple(keys[v] for v in self.node_ids)
+        else:
+            # No per-node fingerprint changed since the cached tuple was
+            # assembled: the key is identical, reuse the object.
+            key = cache[1]
         self._key_cache = (self._version, key)
         return key
 

@@ -13,12 +13,17 @@ A :class:`Process` models one processor of the network.  Its interface is the
 
 Protocol implementations (the self-stabilizing spanning tree, the full MDST
 algorithm, the baselines) subclass :class:`Process`.
+
+Both :class:`Process` and :class:`Outbox` are slotted: processes and their
+outboxes sit on the innermost simulation loop (every atomic step touches
+them), so their fixed attribute layout matters.  Subclasses are free to add
+their own ``__slots__`` or to stay ordinary dict-ful classes.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,18 +42,34 @@ class Outbox:
 
     The simulator drains the outbox after every step and pushes its content
     onto the corresponding FIFO channels, preserving emission order.
+
+    The owning network may install an *activity watcher* (:meth:`watch`):
+    it is invoked with ``(outbox, +1)`` when the outbox becomes non-empty
+    and ``(outbox, -1)`` when it is drained back to empty, which lets the
+    kernel keep a count of non-empty outboxes instead of scanning every
+    process for its quiescence test.
     """
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_on_change")
 
     def __init__(self) -> None:
         self._items: List[Tuple[NodeId, Message]] = []
+        self._on_change: Optional[Callable[["Outbox", int], None]] = None
+
+    def watch(self, on_change: Callable[["Outbox", int], None]) -> None:
+        """Install the non-empty-transition callback ``(outbox, delta) -> None``."""
+        self._on_change = on_change
 
     def append(self, dest: NodeId, message: Message) -> None:
-        self._items.append((dest, message))
+        items = self._items
+        items.append((dest, message))
+        if len(items) == 1 and self._on_change is not None:
+            self._on_change(self, 1)
 
     def drain(self) -> List[Tuple[NodeId, Message]]:
         items, self._items = self._items, []
+        if items and self._on_change is not None:
+            self._on_change(self, -1)
         return items
 
     def __len__(self) -> int:
@@ -68,9 +89,12 @@ class Process(abc.ABC):
         simulator provides it as trusted read-only information.
     """
 
+    __slots__ = ("node_id", "neighbors", "_neighbor_set", "outbox", "steps_taken")
+
     def __init__(self, node_id: NodeId, neighbors: Sequence[NodeId]):
         self.node_id: NodeId = node_id
         self.neighbors: Tuple[NodeId, ...] = tuple(sorted(neighbors))
+        self._neighbor_set = frozenset(self.neighbors)
         self.outbox = Outbox()
         #: number of atomic steps this node has executed (maintained by the simulator)
         self.steps_taken: int = 0
@@ -83,7 +107,7 @@ class Process(abc.ABC):
         Raises :class:`ProtocolError` if ``dest`` is not a neighbour: the
         algorithm is strictly local (one-hop communication only).
         """
-        if dest not in self.neighbors:
+        if dest not in self._neighbor_set:
             raise ProtocolError(
                 f"node {self.node_id} tried to send {message.type_name()} to "
                 f"non-neighbour {dest}")
@@ -91,9 +115,10 @@ class Process(abc.ABC):
 
     def broadcast(self, message: Message, exclude: Sequence[NodeId] = ()) -> None:
         """Send ``message`` to every neighbour not listed in ``exclude``."""
+        outbox = self.outbox
         for u in self.neighbors:
             if u not in exclude:
-                self.outbox.append(u, message)
+                outbox.append(u, message)
 
     # -- protocol hooks --------------------------------------------------------
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..exceptions import SchedulerError
 from ..types import NodeId
+from .channel import Channel
 from .network import EnabledEvents, Network
 from .trace import TraceRecorder
 
@@ -98,9 +99,11 @@ class Scheduler(abc.ABC):
 
     @staticmethod
     def _deliver_one(network: Network, src: NodeId, dst: NodeId,
-                     trace: Optional[TraceRecorder], stats: RoundStats) -> None:
+                     trace: Optional[TraceRecorder], stats: RoundStats,
+                     channel: Optional[Channel] = None) -> None:
         """Deliver the head message of channel ``src -> dst`` as one atomic step."""
-        channel = network.channel(src, dst)
+        if channel is None:
+            channel = network.channel(src, dst)
         message = channel.deliver()
         process = network.processes[dst]
         process.on_message(src, message)
@@ -151,12 +154,14 @@ class Scheduler(abc.ABC):
         destinations in increasing id order, sources sorted within each
         destination, messages emitted during the round left for a later one.
         """
+        deliver_one = self._deliver_one
         for dst, sources in self._deliveries_by_dst(events):
             for src, count in sources:
+                channel = network.channel(src, dst)
                 for _ in range(count):
-                    if not network.channel(src, dst):
+                    if not channel:
                         break
-                    self._deliver_one(network, src, dst, trace, stats)
+                    deliver_one(network, src, dst, trace, stats, channel)
 
 
 class SynchronousScheduler(Scheduler):

@@ -1,0 +1,63 @@
+"""Regression test: message size accounting is hash-seed independent.
+
+``estimate_bits`` costs sets and frozensets as a commutative sum of their
+elements, so the estimate must not depend on the hash-seed-dependent
+iteration order of the container.  This test computes ``size_bits`` for one
+message of every protocol type (plus garbage payloads embedding string sets,
+whose iteration order *does* vary with ``PYTHONHASHSEED``) in subprocesses
+launched with different hash seeds, and requires identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+#: Executed in each subprocess: build one message of every type and print
+#: the ``{type_name: size_bits}`` mapping as JSON.
+_SIZER = r"""
+import json
+from repro.core.messages import (
+    MInfo, Search, Remove, Back, Deblock, Reverse, UpdateDist)
+from repro.sim.messages import GarbageMessage, estimate_bits
+
+N = 32
+messages = [
+    MInfo(root=0, parent=1, distance=2, degree=3, sub_max=4, dmax=5, color=True),
+    Search(init_edge=(3, 1), idblock=None,
+           path=((1, 2), (5, 3)), visited=(1, 5)),
+    Remove(init_edge=(7, 1), deg_max=4, target_edge=(2, 5),
+           path=(1, 2, 5, 7), reversing=False),
+    Back(init_edge=(7, 1), path=(1, 2, 5, 7), position=2),
+    Deblock(idblock=9),
+    Reverse(target=4),
+    UpdateDist(target_edge=(1, 7), dist=3),
+    GarbageMessage(payload=(frozenset({"alpha", "beta", "gamma", "delta"}),
+                            frozenset({10, 20, 30}))),
+]
+sizes = {m.type_name(): m.size_bits(N) for m in messages}
+sizes["raw_set"] = estimate_bits({"x", "yy", "zzz", "wwww"}, N)
+sizes["raw_frozenset"] = estimate_bits(frozenset(range(12)), N)
+print(json.dumps(sizes, sort_keys=True))
+"""
+
+
+def _sizes_with_hash_seed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run([sys.executable, "-c", _SIZER], env=env,
+                            capture_output=True, text=True, check=True)
+    return json.loads(result.stdout)
+
+
+def test_size_bits_deterministic_across_hash_seeds():
+    baseline = _sizes_with_hash_seed("0")
+    assert baseline  # every message type sized
+    for seed in ("1", "42", "12345"):
+        assert _sizes_with_hash_seed(seed) == baseline

@@ -193,6 +193,18 @@ class TestCache:
         engine.execute([changed])
         assert engine.last_stats.executed == 1
 
+    def test_throughput_task_is_never_cached(self, tmp_path):
+        """Timing rows must always be fresh: the engine bypasses the cache
+        for throughput specs even when one is configured."""
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(task="throughput", family="wheel", n=8, seed=3, **FAST)
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.execute([spec])
+        assert spec not in cache
+        engine.execute([spec])
+        assert engine.last_stats.cache_hits == 0
+        assert engine.last_stats.executed == 1
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = RunSpec(family="wheel", n=8, seed=3, **FAST)
