@@ -1,0 +1,185 @@
+"""Churn benchmark: recovery and throughput under live topology churn.
+
+The paper's motivating networks (P2P overlays, wireless/sensor deployments)
+change topology at runtime, and self-stabilization is exactly the property
+that makes that survivable: after any transient disruption -- including
+node/edge churn -- the protocol re-converges to a legitimate MDST of the
+*mutated* graph.  This suite drives the dynamic-topology subsystem through
+the runtime engine (``churn`` task) over three scale-free/ad-hoc graph
+families at several churn rates, and reports
+
+* **recovery**: whether every run re-converged after its last topology
+  event, and the mean gap (in rounds) between the last applied event and
+  the convergence round;
+* **throughput**: simulated rounds per wall-clock second on the churned
+  workload (the mutation paths are on the kernel's hot structures, so a
+  regression here means the incremental invalidation went quadratic).
+
+Two modes, mirroring ``test_bench_scaling.py``:
+
+* smoke (default) -- one small rate x n=16 workload; what plain ``pytest``
+  and the CI smoke job run.  If the committed ``BENCH_churn.json`` carries
+  a matching smoke record, the test fails when the current machine is more
+  than ``SMOKE_GUARD_FACTOR`` x slower than the recorded number.
+  Re-convergence is asserted unconditionally.
+* record (``REPRO_BENCH_RECORD=1``) -- the full rate x family matrix;
+  writes ``BENCH_churn.json`` (including a fresh smoke record for the
+  guard) and asserts every run in the matrix re-converged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.runtime.engine import SweepEngine
+from repro.runtime.spec import RunSpec
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
+
+#: The churn workload: families x churn rates, one seed, synchronous
+#: scheduler, isolated cold start.  Every spec schedules CHURN_EVENTS
+#: topology events starting after round CHURN_START, one every
+#: ``round(1/rate)`` rounds; the round budget leaves room to re-converge
+#: after the last event even at the slowest rate.
+FAMILIES: Tuple[str, ...] = ("erdos_renyi_sparse", "random_geometric",
+                             "barabasi_albert")
+CHURN_RATES: Tuple[float, ...] = (0.02, 0.05, 0.1)
+N = 32
+CHURN_EVENTS = 8
+CHURN_START = 40
+MAX_ROUNDS = 3000
+SEED = 11
+
+#: Smoke workload: small, fast, fixed -- the CI guard compares like for like.
+SMOKE_N = 16
+SMOKE_RATE = 0.05
+SMOKE_EVENTS = 3
+SMOKE_MAX_ROUNDS = 2000
+
+#: Fail smoke mode only when throughput drops more than this factor below
+#: the committed record (absorbs machine-to-machine variation).
+SMOKE_GUARD_FACTOR = 5.0
+
+
+def _workload_fingerprint(n: int, rates: Tuple[float, ...], events: int,
+                          max_rounds: int) -> Dict[str, object]:
+    return {
+        "families": list(FAMILIES),
+        "n": n,
+        "churn_rates": list(rates),
+        "churn_events": events,
+        "churn_start": CHURN_START,
+        "max_rounds": max_rounds,
+        "seed": SEED,
+        "scheduler": "synchronous",
+        "initial": "isolated",
+        "task": "churn",
+    }
+
+
+def _specs(n: int, rates: Tuple[float, ...], events: int,
+           max_rounds: int) -> List[RunSpec]:
+    return [RunSpec(task="churn", family=family, n=n, seed=SEED,
+                    scheduler="synchronous", initial="isolated",
+                    max_rounds=max_rounds, churn_rate=rate,
+                    churn_start=CHURN_START, churn_events=events)
+            for family in FAMILIES for rate in rates]
+
+
+def _run(n: int, rates: Tuple[float, ...], events: int,
+         max_rounds: int) -> List[Dict[str, object]]:
+    """Execute the workload serially through the sweep engine (no cache)."""
+    engine = SweepEngine(workers=1, cache=None)
+    return [outcome.row
+            for outcome in engine.execute(_specs(n, rates, events, max_rounds))]
+
+
+def _aggregate(rows: List[Dict[str, object]]) -> float:
+    seconds = sum(float(row["seconds"]) for row in rows)
+    rounds = sum(int(row["rounds"]) for row in rows)
+    return round(rounds / seconds, 2) if seconds > 0 else 0.0
+
+
+def _mean_recovery(rows: List[Dict[str, object]]) -> float:
+    gaps = [int(row["recovery_rounds"]) for row in rows
+            if row.get("recovery_rounds") is not None]
+    return round(sum(gaps) / len(gaps), 1) if gaps else 0.0
+
+
+def test_churn_recovery_throughput():
+    record = os.environ.get("REPRO_BENCH_RECORD", "") == "1"
+
+    if not record:
+        rows = _run(SMOKE_N, (SMOKE_RATE,), SMOKE_EVENTS, SMOKE_MAX_ROUNDS)
+        current = _aggregate(rows)
+        print()
+        print(f"churn throughput (smoke): {current} rounds/sec over "
+              f"{len(rows)} instances (n={SMOKE_N}, rate={SMOKE_RATE}), "
+              f"mean recovery {_mean_recovery(rows)} rounds")
+        # re-convergence after churn is a hard gate even in smoke mode
+        for row in rows:
+            assert row["converged"], (
+                f"{row['family']} failed to re-converge after churn "
+                f"({row['churn_applied']} events applied)")
+            assert row["churn_applied"] + row["churn_skipped"] == SMOKE_EVENTS
+        assert current > 0
+        guard = None
+        if OUTPUT_PATH.exists():
+            committed = json.loads(OUTPUT_PATH.read_text())
+            guard = committed.get("smoke_guard")
+        if guard and guard.get("workload") == _workload_fingerprint(
+                SMOKE_N, (SMOKE_RATE,), SMOKE_EVENTS, SMOKE_MAX_ROUNDS):
+            floor = float(guard["rounds_per_sec"]) / SMOKE_GUARD_FACTOR
+            print(f"smoke guard: recorded {guard['rounds_per_sec']} rounds/sec, "
+                  f"floor {round(floor, 2)}")
+            assert current >= floor, (
+                f"churn smoke throughput {current} rounds/sec is more than "
+                f"{SMOKE_GUARD_FACTOR}x below the committed record "
+                f"{guard['rounds_per_sec']} (see BENCH_churn.json)")
+        else:
+            print("smoke guard: no matching committed record, guard skipped")
+        return
+
+    # -- record mode: full matrix + fresh smoke record ----------------------
+    rows = _run(N, CHURN_RATES, CHURN_EVENTS, MAX_ROUNDS)
+    for row in rows:
+        assert row["converged"], (
+            f"{row['family']} at rate {row['churn_rate']} failed to "
+            f"re-converge ({row['churn_applied']} events applied)")
+    by_rate = {rate: _aggregate([r for r in rows if r["churn_rate"] == rate])
+               for rate in CHURN_RATES}
+    recovery_by_rate = {
+        rate: _mean_recovery([r for r in rows if r["churn_rate"] == rate])
+        for rate in CHURN_RATES}
+
+    smoke_rows = _run(SMOKE_N, (SMOKE_RATE,), SMOKE_EVENTS, SMOKE_MAX_ROUNDS)
+    payload = {
+        "benchmark": "churn_recovery_throughput",
+        "mode": "record",
+        "workload": _workload_fingerprint(N, CHURN_RATES, CHURN_EVENTS,
+                                          MAX_ROUNDS),
+        "runs": rows,
+        "rounds_per_sec_by_rate": {str(r): by_rate[r] for r in CHURN_RATES},
+        "rounds_per_sec": _aggregate(rows),
+        "mean_recovery_rounds_by_rate": {str(r): recovery_by_rate[r]
+                                         for r in CHURN_RATES},
+        "all_reconverged": True,
+        "smoke_guard": {
+            "workload": _workload_fingerprint(SMOKE_N, (SMOKE_RATE,),
+                                              SMOKE_EVENTS, SMOKE_MAX_ROUNDS),
+            "rounds_per_sec": _aggregate(smoke_rows),
+            "guard_factor": SMOKE_GUARD_FACTOR,
+        },
+        "unix_time": int(time.time()),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"churn throughput (record): {_aggregate(rows)} rounds/sec "
+          f"aggregate -> {OUTPUT_PATH.name}")
+    for rate in CHURN_RATES:
+        print(f"  rate={rate}: {by_rate[rate]} rounds/sec, "
+              f"mean recovery {recovery_by_rate[rate]} rounds")

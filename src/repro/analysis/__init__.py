@@ -13,7 +13,8 @@ from .memory import (
     message_bound_bits,
     state_bound_bits,
 )
-from .metrics import TreeQuality, degree_gap, degree_histogram_of_tree, evaluate_tree
+from .metrics import (TreeQuality, degree_gap, degree_histogram_of_tree,
+                      evaluate_tree, gini)
 from .reporting import ExperimentReport
 from .tables import format_csv, format_table, render_rows
 

@@ -17,7 +17,27 @@ from ..graphs.properties import mdst_lower_bound
 from ..graphs.spanning import tree_degree, tree_degrees
 from ..types import Edge
 
-__all__ = ["TreeQuality", "evaluate_tree", "degree_gap", "degree_histogram_of_tree"]
+__all__ = ["TreeQuality", "evaluate_tree", "degree_gap",
+           "degree_histogram_of_tree", "gini"]
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a load distribution (0 = perfectly even).
+
+    Used by the P2P scenarios to quantify relay-load fairness of an overlay
+    tree: feed it the per-node tree degrees and a value near 0 means no
+    peer relays disproportionately more traffic than the rest.  An empty or
+    all-zero distribution is perfectly even by convention.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if n == 0 or total == 0:
+        return 0.0
+    cum = 0.0
+    for i, v in enumerate(ordered, start=1):
+        cum += i * v
+    return (2 * cum) / (n * total) - (n + 1) / n
 
 
 @dataclass(frozen=True)

@@ -130,15 +130,18 @@ def make_mdst_legitimacy(require_reduction: bool = True,
     max-degree layers only (used to time the substrate in isolation).
 
     The returned predicate is a pure function of the network's per-node
-    snapshots (and the static graph), so it is safe to wrap in the
+    snapshots (and the live graph), so it is safe to wrap in the
     simulator's :class:`~repro.sim.monitors.PredicateCache`; internally it
     also memoizes the improvement-rule fixpoint test per induced tree edge
     set, which skips the chain planner whenever the tree shape was already
     judged -- the verdicts themselves are unchanged.  The memo is held per
     graph (weakly, so graphs are not kept alive), making one predicate
-    instance safe to reuse across networks.
+    instance safe to reuse across networks; memo entries additionally key
+    on the network's :attr:`~repro.sim.network.Network.topology_version`,
+    because under live churn the same graph *object* mutates in place and a
+    fixpoint verdict for one topology says nothing about the next.
     """
-    memo_by_graph: "weakref.WeakKeyDictionary[nx.Graph, Dict[frozenset, bool]]" = \
+    memo_by_graph: "weakref.WeakKeyDictionary[nx.Graph, Dict[tuple, bool]]" = \
         weakref.WeakKeyDictionary()
 
     def predicate(network: Network) -> bool:
@@ -150,7 +153,7 @@ def make_mdst_legitimacy(require_reduction: bool = True,
         if require_reduction:
             edges = current_tree_edges(network, snaps)
             reduction_memo = memo_by_graph.setdefault(network.graph, {})
-            key = frozenset(edges)
+            key = (network.topology_version, frozenset(edges))
             verdict = reduction_memo.get(key)
             if verdict is None:
                 if len(reduction_memo) >= _REDUCTION_MEMO_LIMIT:

@@ -676,6 +676,37 @@ class MDSTNode(Process):
                                         dist=self.s.distance))
 
     # ======================================================================
+    # Dynamic topology (live neighbour-set deltas)
+    # ======================================================================
+
+    def add_neighbor(self, u: NodeId) -> None:
+        """A link to ``u`` appeared at runtime.
+
+        The new neighbour starts as an unheard non-tree edge; the next
+        timeout gossips our variables across it and subsequent searches may
+        discover the fundamental cycles it creates.
+        """
+        super().add_neighbor(u)
+        self.s.neighbor_added(self.neighbors, u)
+        self._refresh()
+
+    def remove_neighbor(self, u: NodeId) -> None:
+        """The link to ``u`` died at runtime.
+
+        Evicts the stale cached :class:`~repro.core.state.NeighborState`;
+        if ``u`` was our parent the tree edge is gone, so we re-enter the
+        correction phase as a fresh root (rule R2's premise -- an incoherent
+        parent pointer -- made explicit) and let R1 re-attach us to the
+        surviving tree through gossip.
+        """
+        super().remove_neighbor(u)
+        lost_parent = self.s.parent == u
+        self.s.neighbor_removed(self.neighbors, u)
+        if lost_parent:
+            self._create_new_root()
+        self._refresh()
+
+    # ======================================================================
     # Self-stabilization support / introspection
     # ======================================================================
 

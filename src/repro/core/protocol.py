@@ -32,7 +32,7 @@ from ..graphs.spanning import (
     tree_degrees,
 )
 from ..graphs.validation import check_network
-from ..sim.faults import FaultPlan, corrupt_channels, corrupt_states
+from ..sim.faults import ChurnPlan, FaultPlan, corrupt_channels, corrupt_states
 from ..sim.network import Network
 from ..sim.scheduler import make_scheduler
 from ..sim.simulator import SimulationReport, Simulator
@@ -103,6 +103,12 @@ class MDSTConfig:
     node_weights:
         Per-node step weights for the ``"weighted"`` scheduler (hot-hub
         stress scenarios); nodes not listed default to weight 1.
+    n_upper:
+        Explicit upper bound on the network size (the distance bound of the
+        spanning-tree layer).  Defaults to ``n + 1`` of the input graph;
+        runs that expect node *joins* (a churn plan with ``add_node``
+        events) must pass headroom here, because a legitimate tree of the
+        grown network can have distances beyond the original bound.
     """
 
     scheduler: str = "synchronous"
@@ -119,6 +125,7 @@ class MDSTConfig:
     slow_links: Sequence[Tuple[NodeId, NodeId]] = field(default_factory=tuple)
     max_delay: int = 4
     node_weights: Optional[Dict[NodeId, int]] = None
+    n_upper: Optional[int] = None
 
     def validate(self) -> None:
         if self.initial not in INITIAL_POLICIES:
@@ -128,17 +135,25 @@ class MDSTConfig:
             raise ConfigurationError("max_rounds must be >= 1")
         if self.stability_window < 1:
             raise ConfigurationError("stability_window must be >= 1")
+        if self.n_upper is not None and self.n_upper < 2:
+            raise ConfigurationError("n_upper must be >= 2")
 
 
 @dataclass
 class MDSTResult:
-    """Outcome of :func:`run_mdst`."""
+    """Outcome of :func:`run_mdst`.
+
+    ``final_graph`` is populated only for churned runs: the communication
+    graph as it stood when the run ended (the graph the final tree must
+    span), which generally differs from the input graph.
+    """
 
     run: RunResult
     report: SimulationReport
     trace: Optional[TraceRecorder]
     tree_edges: set[Edge]
     node_stats: Dict[NodeId, Dict[str, int]]
+    final_graph: Optional[nx.Graph] = None
 
     @property
     def converged(self) -> bool:
@@ -159,7 +174,7 @@ def build_mdst_network(graph: nx.Graph, config: Optional[MDSTConfig] = None) -> 
     config.validate()
     check_network(graph)
     factory = mdst_node_factory(
-        n_upper=graph.number_of_nodes() + 1,
+        n_upper=config.n_upper or graph.number_of_nodes() + 1,
         search_period=config.search_period,
         deblock_cooldown=config.deblock_cooldown,
         enable_reduction=config.enable_reduction,
@@ -257,7 +272,8 @@ def _prepare_initial(network: Network, config: MDSTConfig,
 
 def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
              initial_tree: Optional[Iterable[Edge]] = None,
-             fault_plan: Optional[FaultPlan] = None) -> MDSTResult:
+             fault_plan: Optional[FaultPlan] = None,
+             churn_plan: Optional[ChurnPlan] = None) -> MDSTResult:
     """Run the self-stabilizing MDST protocol on ``graph`` to convergence.
 
     Parameters
@@ -270,6 +286,11 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
         Explicit initial spanning tree (overrides ``config.initial``).
     fault_plan:
         Optional schedule of mid-run transient faults.
+    churn_plan:
+        Optional schedule of live topology changes; convergence is then
+        judged against the *mutated* graph (the legitimacy predicate reads
+        the live network).  Runs expecting node joins should also pass
+        :attr:`MDSTConfig.n_upper` headroom.
 
     Returns
     -------
@@ -293,7 +314,8 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
                           network_size=graph.number_of_nodes())
     simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,
                           stability_window=config.stability_window,
-                          fault_plan=fault_plan, trace=trace, rng=rng)
+                          fault_plan=fault_plan, churn_plan=churn_plan,
+                          trace=trace, rng=rng)
     report = simulator.run(max_rounds=config.max_rounds,
                            extra_rounds_after_convergence=config.extra_rounds_after_convergence)
     tree_edges = current_tree_edges(network)
@@ -306,6 +328,22 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
             tree_snapshot = TreeSnapshot.from_parent_map(parent)
         except ValueError:
             tree_snapshot = None
+    extra = {
+        "convergence_round": report.convergence_round,
+        "max_message_bits": report.max_message_bits,
+        "max_state_bits": report.max_state_bits,
+        "deliveries_by_type": trace.deliveries_by_type(),
+    }
+    final_graph: Optional[nx.Graph] = None
+    if churn_plan is not None:
+        # Churned runs report against the mutated topology.
+        extra["churn_applied"] = report.churn_applied
+        extra["churn_skipped"] = report.churn_skipped
+        extra["churn_rounds"] = list(report.churn_rounds)
+        extra["dropped_messages"] = report.dropped_messages
+        extra["final_n"] = network.n
+        extra["final_m"] = network.m
+        final_graph = network.graph
     run = RunResult(
         converged=report.converged,
         rounds=report.rounds,
@@ -313,14 +351,10 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
         messages=report.messages_sent,
         tree=tree_snapshot,
         tree_degree=tree_degree_now,
-        extra={
-            "convergence_round": report.convergence_round,
-            "max_message_bits": report.max_message_bits,
-            "max_state_bits": report.max_state_bits,
-            "deliveries_by_type": trace.deliveries_by_type(),
-        },
+        extra=extra,
     )
     node_stats = {v: dict(network.processes[v].stats)  # type: ignore[attr-defined]
                   for v in network.node_ids}
     return MDSTResult(run=run, report=report, trace=trace,
-                      tree_edges=tree_edges, node_stats=node_stats)
+                      tree_edges=tree_edges, node_stats=node_stats,
+                      final_graph=final_graph)

@@ -136,6 +136,21 @@ class MDSTState:
         return [u for u, nv in self.view.items()
                 if not (parent == u or (nv.heard and nv.parent == me))]
 
+    # -- dynamic topology -------------------------------------------------------
+
+    def neighbor_added(self, neighbors: Sequence[NodeId], u: NodeId) -> None:
+        """A link to ``u`` appeared: adopt the new neighbour sequence and
+        start a blank (unheard) cached view -- the edge is a non-tree edge
+        until gossip establishes otherwise."""
+        self.neighbors = neighbors
+        self.view[u] = NeighborState()
+
+    def neighbor_removed(self, neighbors: Sequence[NodeId], u: NodeId) -> None:
+        """The link to ``u`` died: adopt the shrunk neighbour sequence and
+        evict the stale cached view so no rule ever reads it again."""
+        self.neighbors = neighbors
+        self.view.pop(u, None)
+
     # -- corruption / accounting ---------------------------------------------------
 
     def corrupt(self, rng: np.random.Generator) -> None:

@@ -31,6 +31,7 @@ from ..analysis.convergence import aggregate_records
 from ..analysis.reporting import ExperimentReport
 from ..analysis.tables import format_table
 from ..exceptions import ReproError
+from ..graphs.generators import GRAPH_FAMILIES, family_names
 from .cache import ResultCache
 from .engine import SweepEngine, default_workers
 from .spec import RunSpec, SweepSpec
@@ -58,11 +59,33 @@ def _status(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _check_families(families: Sequence[str]) -> None:
+    """Reject unknown graph families before any work is dispatched.
+
+    Failing here -- rather than deep inside a worker process mid-sweep --
+    keeps the error cheap and actionable: the message lists every
+    registered family name.
+    """
+    unknown = sorted(set(families) - set(GRAPH_FAMILIES))
+    if unknown:
+        noun = "family" if len(unknown) == 1 else "families"
+        raise ReproError(
+            f"unknown graph {noun} {', '.join(repr(f) for f in unknown)}; "
+            f"registered families: {', '.join(family_names())}")
+
+
 # ---------------------------------------------------------------------------
 # Subcommand implementations
 # ---------------------------------------------------------------------------
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _check_families([args.family])
+    if (args.churn_rate > 0 or args.churn_events > 0) and args.task != "churn":
+        # Only the churn task reads these; silently ignoring them would let
+        # a static-topology row masquerade as a churn measurement.
+        raise ReproError(
+            f"--churn-rate/--churn-events require --task churn "
+            f"(got --task {args.task})")
     spec = RunSpec(
         task=args.task,
         family=args.family,
@@ -71,6 +94,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         initial=args.initial,
         max_rounds=args.max_rounds,
+        churn_rate=args.churn_rate,
+        churn_start=args.churn_start,
+        churn_events=args.churn_events,
     )
     outcome = execute_spec(spec)
     if args.json:
@@ -95,6 +121,7 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _check_families(args.families)
     sweep = _sweep_from_args(args)
     specs = sweep.expand()
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -199,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("bfs_tree", "random_tree", "isolated", "corrupted"))
     run.add_argument("--max-rounds", type=int, default=5000)
     run.add_argument("--task", default="protocol", choices=task_names())
+    run.add_argument("--churn-rate", type=float, default=0.0,
+                     help="topology events per round (use with --task churn)")
+    run.add_argument("--churn-start", type=int, default=50,
+                     help="first round after which churn may fire")
+    run.add_argument("--churn-events", type=int, default=0,
+                     help="total scheduled topology events")
     run.add_argument("--json", action="store_true",
                      help="print the full outcome as JSON instead of a table")
     run.set_defaults(func=cmd_run)

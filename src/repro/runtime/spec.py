@@ -32,13 +32,19 @@ import networkx as nx
 from ..core.protocol import MDSTConfig
 from ..exceptions import ConfigurationError
 from ..graphs.generators import make_graph
+from ..sim.faults import ChurnPlan, random_churn_plan
 from ..sim.rng import derive_seed
 
 __all__ = ["RunSpec", "SweepSpec", "spec_key", "CACHE_SCHEMA_VERSION"]
 
 #: Bumped whenever the result schema or the simulation semantics change in a
-#: way that invalidates previously cached outcomes.
-CACHE_SCHEMA_VERSION = 1
+#: way that invalidates previously cached outcomes.  2: RunSpec grew the
+#: churn parameters (``churn_rate``/``churn_start``/``churn_events``).
+CACHE_SCHEMA_VERSION = 2
+
+#: Stream index for deriving a run's churn-plan seed from its master seed
+#: (decoupled from the repetition streams used by :class:`SweepSpec`).
+CHURN_SEED_STREAM = 101
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,13 @@ class RunSpec:
         When ``fault_round`` is set, a transient fault corrupting
         ``fault_fraction`` of the nodes is injected after that round
         (used by the self-stabilization experiments).
+    churn_rate, churn_start, churn_events:
+        When ``churn_rate > 0`` and ``churn_events > 0``, a deterministic
+        connectivity-preserving topology churn plan
+        (:func:`repro.sim.faults.random_churn_plan`, seeded from ``seed``)
+        schedules ``churn_events`` node/edge changes, one every
+        ``round(1 / churn_rate)`` rounds starting after ``churn_start``
+        (used by the ``churn`` task and benchmark).
     params:
         Task-specific extras as a sorted tuple of ``(key, value)`` pairs so
         the spec stays hashable; use :meth:`param` to read them.
@@ -76,6 +89,9 @@ class RunSpec:
     enable_reduction: bool = True
     fault_round: Optional[int] = None
     fault_fraction: float = 0.5
+    churn_rate: float = 0.0
+    churn_start: int = 50
+    churn_events: int = 0
     params: Tuple[Tuple[str, object], ...] = ()
 
     # -- derived views ---------------------------------------------------------
@@ -88,6 +104,29 @@ class RunSpec:
         below :mod:`repro.experiments` in the import graph.
         """
         return make_graph(self.family, self.n, seed=self.seed)
+
+    @property
+    def churn_enabled(self) -> bool:
+        """Whether this spec schedules topology churn."""
+        return self.churn_rate > 0 and self.churn_events > 0
+
+    @property
+    def churn_period(self) -> int:
+        """Rounds between consecutive churn events (``round(1 / rate)``)."""
+        if self.churn_rate <= 0:
+            raise ConfigurationError("churn_period needs churn_rate > 0")
+        return max(1, int(round(1.0 / self.churn_rate)))
+
+    def build_churn_plan(self, graph) -> Optional[ChurnPlan]:
+        """The spec's deterministic churn plan for ``graph`` (``None`` if
+        churn is disabled).  Seeded from the run seed via an independent
+        stream so churn never perturbs the scheduler/fault streams."""
+        if not self.churn_enabled:
+            return None
+        return random_churn_plan(
+            graph, events=self.churn_events, start_round=self.churn_start,
+            period=self.churn_period,
+            seed=derive_seed(self.seed, CHURN_SEED_STREAM))
 
     @property
     def label(self) -> str:
@@ -139,6 +178,9 @@ class RunSpec:
             "enable_reduction": self.enable_reduction,
             "fault_round": self.fault_round,
             "fault_fraction": self.fault_fraction,
+            "churn_rate": self.churn_rate,
+            "churn_start": self.churn_start,
+            "churn_events": self.churn_events,
             "params": [list(item) for item in self.params],
         }
 

@@ -21,6 +21,9 @@ The registry covers every kind of measurement the E1-E8 experiments need:
 ``improvement`` single-improvement micro-benchmark on a hard-hub graph (E8)
 ``throughput`` timed protocol execution reporting rounds/sec (the large-n
                scaling benchmark; never cached by the engine)
+``churn``      timed protocol execution under a live topology churn plan
+               (node/edge joins and leaves through the network mutation
+               APIs); reports recovery and throughput, never cached
 =============  ==============================================================
 
 Protocol-style tasks execute on the activity-aware simulation kernel via
@@ -331,14 +334,73 @@ def run_throughput_task(spec: RunSpec) -> RunOutcome:
     return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
 
 
+def run_churn_task(spec: RunSpec) -> RunOutcome:
+    """Protocol execution under live topology churn (node/edge joins/leaves).
+
+    Builds the spec's deterministic connectivity-preserving churn plan
+    (:meth:`~repro.runtime.spec.RunSpec.build_churn_plan`), gives the
+    spanning-tree layer ``n_upper`` headroom for the joins the plan may
+    schedule, and runs the protocol through the churned execution.
+    Convergence is judged against the *mutated* graph -- the legitimacy
+    predicate reads the live network -- so ``converged`` doubles as the
+    re-convergence-after-churn verdict.  ``recovery_rounds`` is the gap
+    between the last applied churn event and the convergence round.  Rows
+    carry wall-clock timing, so the engine never caches them (see
+    :data:`UNCACHEABLE_TASKS`).
+    """
+    graph = spec.build_graph()
+    plan = spec.build_churn_plan(graph)
+    config = spec.mdst_config()
+    if plan is not None:
+        # Joins may grow the network past the input size: keep the distance
+        # bound legal for every topology the plan can produce.
+        config.n_upper = graph.number_of_nodes() + spec.churn_events + 1
+    start = time.perf_counter()
+    result = run_mdst(graph, config, fault_plan=_fault_plan(spec),
+                      churn_plan=plan)
+    seconds = time.perf_counter() - start
+    extra = result.run.extra
+    convergence_round = extra.get("convergence_round")
+    churn_rounds = extra.get("churn_rounds", [])
+    recovery: Optional[int] = None
+    if result.converged and convergence_round is not None and churn_rounds:
+        recovery = convergence_round - max(churn_rounds)
+    row: Dict[str, object] = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "scheduler": spec.scheduler,
+        "initial": spec.initial,
+        "churn_rate": spec.churn_rate,
+        "churn_events": spec.churn_events,
+        "churn_applied": extra.get("churn_applied", 0),
+        "churn_skipped": extra.get("churn_skipped", 0),
+        "dropped_messages": extra.get("dropped_messages", 0),
+        "final_n": extra.get("final_n", graph.number_of_nodes()),
+        "final_m": extra.get("final_m", graph.number_of_edges()),
+        "converged": result.converged,
+        "rounds": result.rounds,
+        "convergence_round": convergence_round,
+        "recovery_rounds": recovery,
+        "steps": result.run.steps,
+        "messages": result.run.messages,
+        "tree_degree": result.tree_degree,
+        "seconds": round(seconds, 4),
+        "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
+    }
+    return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
+
+
 #: Tasks whose rows are wall-clock measurements: the engine never serves
 #: them from (or writes them to) the result cache -- a cached timing row
 #: would silently masquerade as a fresh measurement.
-UNCACHEABLE_TASKS = frozenset({"throughput"})
+UNCACHEABLE_TASKS = frozenset({"throughput", "churn"})
 
 TASKS: Dict[str, Callable[[RunSpec], RunOutcome]] = {
     "protocol": run_protocol_task,
     "throughput": run_throughput_task,
+    "churn": run_churn_task,
     "reference": run_reference_task,
     "memory": run_memory_task,
     "quality": run_quality_task,

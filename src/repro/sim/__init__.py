@@ -6,7 +6,9 @@ the provided schedulers, with fault injection and tracing.
 """
 
 from .channel import Channel, ChannelStats
-from .faults import FaultEvent, FaultPlan, corrupt_channels, corrupt_everything, corrupt_states
+from .faults import (ChurnEvent, ChurnPlan, FaultEvent, FaultPlan,
+                     corrupt_channels, corrupt_everything, corrupt_states,
+                     random_churn_plan)
 from .messages import (GarbageMessage, Message, estimate_bits, id_bits,
                        message_dataclass)
 from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor, PredicateCache

@@ -123,12 +123,22 @@ class Channel:
         if messages and self._on_change is not None:
             self._on_change(self, len(messages))
 
-    def clear(self) -> None:
-        """Drop all queued messages (used only by test harnesses)."""
+    def clear(self) -> int:
+        """Drop all queued messages; return how many were dropped.
+
+        Used by test harnesses and by the network when the underlying edge
+        is removed at runtime (in-flight messages on a dead link are lost --
+        the caller accounts for the returned count).
+        """
         dropped = len(self._queue)
         self._queue.clear()
         if dropped and self._on_change is not None:
             self._on_change(self, -dropped)
+        return dropped
+
+    def unwatch(self) -> None:
+        """Remove the activity callback (the owning network is letting go)."""
+        self._on_change = None
 
     # -- introspection --------------------------------------------------------
 

@@ -56,9 +56,16 @@ class PredicateCache:
 
     Wraps a predicate; calling the cache evaluates the predicate only when
     the observable configuration changed since the previous call.  Use only
-    with predicates that are pure functions of the per-node snapshots --
-    a predicate reading channel contents or external state must stay
-    uncached (pass ``cache_predicate=False`` to the simulator).
+    with predicates that are pure functions of the per-node snapshots and
+    the communication graph -- a predicate reading channel contents or
+    external state must stay uncached (pass ``cache_predicate=False`` to
+    the simulator).
+
+    The cache keys on ``(snapshot_key, topology_version)``: a live topology
+    change (node/edge churn) can flip a graph-reading verdict -- removing a
+    tree edge, or adding an edge that enables an improvement -- while
+    leaving every per-node snapshot byte-identical, so the snapshot
+    fingerprint alone is not a sound key on a mutable network.
 
     Attributes
     ----------
@@ -73,15 +80,19 @@ class PredicateCache:
         self.evaluations = 0
         self.hits = 0
         self._key: Optional[tuple] = None
+        self._topology: Optional[int] = None
         self._verdict: Optional[bool] = None
 
     def __call__(self, network: Network) -> bool:
         key = network.snapshot_key()
-        if self._verdict is not None and key == self._key:
+        topology = network.topology_version
+        if (self._verdict is not None and topology == self._topology
+                and key == self._key):
             self.hits += 1
             return self._verdict
         verdict = bool(self.predicate(network))
         self._key = key
+        self._topology = topology
         self._verdict = verdict
         self.evaluations += 1
         return verdict

@@ -60,10 +60,33 @@ The global :meth:`snapshot_key` is assembled from the cached per-node
 fingerprints, and when *no* per-node fingerprint changed the previous key
 tuple object is returned as-is -- downstream verdict caches then compare
 mostly-identical objects, which short-circuits element-by-element.
+
+Dynamic topology
+----------------
+The communication graph is no longer frozen at construction:
+:meth:`add_node`, :meth:`remove_node`, :meth:`add_edge` and
+:meth:`remove_edge` mutate the live network while keeping every incremental
+structure consistent -- the graph (copied on first mutation, so the caller's
+object is never touched), the adjacency map, the channel set (in-flight
+messages on a removed link are dropped and counted in
+:attr:`dropped_messages`), the active-channel set and pending/outbox
+counters, the dirty-node set and per-node snapshot caches, and each
+affected process's neighbour set (via
+:meth:`~repro.sim.node.Process.add_neighbor` /
+:meth:`~repro.sim.node.Process.remove_neighbor`, which protocols override
+to evict stale per-neighbour state and re-enter their correction phase).
+
+Every mutation bumps both the configuration :attr:`version` and a separate
+:attr:`topology_version`.  The distinction matters because a topology
+change can leave every per-node snapshot unchanged (adding a non-tree edge,
+say) while still changing the verdict of a predicate that reads the graph
+-- so verdict caches key on ``(snapshot_key, topology_version)`` rather
+than the snapshot fingerprint alone.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -133,6 +156,7 @@ class Network:
             v: tuple(sorted(graph.neighbors(v))) for v in self.node_ids
         }
         self.processes: Dict[NodeId, Process] = {}
+        self._process_factory = process_factory
         for v in self.node_ids:
             proc = process_factory(v, self.adjacency[v])
             if proc.node_id != v:
@@ -141,10 +165,21 @@ class Network:
             self.processes[v] = proc
         # -- kernel state ------------------------------------------------------
         self._version = 0
+        self._topology_version = 0
+        self._graph_owned = False
+        #: Messages that were in flight on a link when that link was removed;
+        #: a removed channel drops its queue and the count lands here.
+        self.dropped_messages = 0
+        # Cumulative statistics of channels destroyed by edge/node removal:
+        # the per-run accounting (max message bits, total sends) must cover
+        # traffic that travelled on links that no longer exist.
+        self._retired_messages_sent = 0
+        self._retired_max_message_bits = 0
         self._disabled: set[NodeId] = set()
         self._active: set[ChannelKey] = set()
         self._pending_total = 0
         self._channel_order: Dict[ChannelKey, int] = {}
+        self._channel_seq = 0
         # Dirty-set snapshot caches: nodes whose reported state may have
         # changed since the per-node caches were refreshed, the cached
         # per-node snapshot dicts / read-only views / fingerprint tuples,
@@ -168,10 +203,7 @@ class Network:
         self.channels: Dict[ChannelKey, Channel] = {}
         for u, v in graph.edges:
             for key in ((u, v), (v, u)):
-                channel = Channel(*key, network_size=self.n)
-                channel.watch(self._channel_changed)
-                self._channel_order[key] = len(self._channel_order)
-                self.channels[key] = channel
+                self._install_channel(key)
 
     # -- configuration version / activity tracking -----------------------------
 
@@ -184,6 +216,28 @@ class Network:
         throughout the verification layer key on it.
         """
         return self._version
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonically increasing topology version.
+
+        Bumped by every :meth:`add_node` / :meth:`remove_node` /
+        :meth:`add_edge` / :meth:`remove_edge`.  Equal topology versions
+        guarantee an unchanged communication graph; predicate caches that
+        read the graph (not just the snapshots) must key on this alongside
+        :meth:`snapshot_key`, because a topology event can change a verdict
+        without changing any per-node snapshot.
+        """
+        return self._topology_version
+
+    def _install_channel(self, key: ChannelKey) -> Channel:
+        """Create, watch and order one directed channel."""
+        channel = Channel(*key, network_size=self.n)
+        channel.watch(self._channel_changed)
+        self._channel_order[key] = self._channel_seq
+        self._channel_seq += 1
+        self.channels[key] = channel
+        return channel
 
     def _channel_changed(self, channel: Channel, delta: int) -> None:
         """Activity hook installed on every channel (send/deliver/preload/clear)."""
@@ -317,6 +371,174 @@ class Network:
         except KeyError as exc:
             raise ChannelError(f"no channel {src}->{dst}") from exc
 
+    # -- dynamic topology ------------------------------------------------------
+
+    def _own_graph(self) -> nx.Graph:
+        """The mutable graph: copied from the caller's on first mutation."""
+        if not self._graph_owned:
+            self.graph = self.graph.copy()
+            self._graph_owned = True
+        return self.graph
+
+    def _note_topology_change(self) -> None:
+        """Invalidate every structure keyed on the node set or edge set."""
+        self._version += 1
+        self._topology_version += 1
+        self._snaps_stale = True
+        self._snaps_view = None
+        self._snaps_version = -1
+        self._key_cache = None
+
+    def _drop_channel(self, key: ChannelKey) -> None:
+        """Destroy one directed channel, dropping (and counting) its queue.
+
+        The channel's cumulative statistics are folded into the retired
+        aggregates so :meth:`max_channel_message_bits` and
+        :meth:`total_messages_sent` keep covering its traffic.
+        """
+        channel = self.channels.pop(key)
+        self.dropped_messages += channel.clear()
+        self._retired_messages_sent += channel.stats.sent
+        if channel.stats.max_message_bits > self._retired_max_message_bits:
+            self._retired_max_message_bits = channel.stats.max_message_bits
+        channel.unwatch()
+        self._channel_order.pop(key, None)
+        self._active.discard(key)
+
+    def _sync_channel_network_size(self) -> None:
+        """Propagate the current node count to every channel's size model.
+
+        Message bit sizes are a function of the network size (identifier
+        width); after node churn every channel must account with the same
+        ``n`` or the max-message-bits metric would mix id widths."""
+        n = self.n
+        for channel in self.channels.values():
+            channel._network_size = n
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        """Create the communication link ``{u, v}`` at runtime.
+
+        Installs the two directed channels, extends both adjacency entries
+        and tells both processes about their new neighbour
+        (:meth:`~repro.sim.node.Process.add_neighbor`).  Both endpoints must
+        already be nodes of the network.
+        """
+        if u == v:
+            raise SimulationError(f"cannot add self-loop edge at node {u}")
+        for x in (u, v):
+            if x not in self.adjacency:
+                raise SimulationError(f"unknown node {x}")
+        if (u, v) in self.channels:
+            raise SimulationError(f"edge {{{u}, {v}}} already exists")
+        self._own_graph().add_edge(u, v)
+        self.m += 1
+        for a, b in ((u, v), (v, u)):
+            self.adjacency[a] = tuple(sorted(self.adjacency[a] + (b,)))
+            self._install_channel((a, b))
+            self.processes[a].add_neighbor(b)
+            self._dirty.add(a)
+        self._note_topology_change()
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Destroy the communication link ``{u, v}`` at runtime.
+
+        In-flight messages on either direction are dropped and counted in
+        :attr:`dropped_messages`; both processes evict the lost neighbour
+        (:meth:`~repro.sim.node.Process.remove_neighbor`).  The network may
+        become disconnected -- callers who need connectivity (the churn
+        plans do) must guard before removing.
+        """
+        if (u, v) not in self.channels:
+            raise SimulationError(f"no edge {{{u}, {v}}} to remove")
+        self._own_graph().remove_edge(u, v)
+        self.m -= 1
+        for a, b in ((u, v), (v, u)):
+            self._drop_channel((a, b))
+            self.adjacency[a] = tuple(x for x in self.adjacency[a] if x != b)
+            self.processes[a].remove_neighbor(b)
+            self._dirty.add(a)
+        self._note_topology_change()
+
+    def add_node(self, v: NodeId, neighbors: Iterable[NodeId] = ()) -> Process:
+        """A new node joins the network, linked to ``neighbors``.
+
+        The process is built by the same factory the network was constructed
+        with; its outbox is watched, its channels installed, and every
+        attach-point process learns about its new neighbour.  Returns the
+        new process.
+        """
+        if v in self.adjacency:
+            raise SimulationError(f"node {v} already exists")
+        attach = tuple(sorted(set(neighbors)))
+        if v in attach:
+            raise SimulationError(f"node {v} cannot neighbour itself")
+        unknown = [u for u in attach if u not in self.adjacency]
+        if unknown:
+            raise SimulationError(f"cannot attach new node {v} to unknown nodes {unknown}")
+        graph = self._own_graph()
+        graph.add_node(v)
+        for u in attach:
+            graph.add_edge(v, u)
+        self.n += 1
+        self.m += len(attach)
+        bisect.insort(self.node_ids, v)
+        self.adjacency[v] = attach
+        proc = self._process_factory(v, attach)
+        if proc.node_id != v:
+            raise ProtocolError(
+                f"process factory returned node id {proc.node_id} for node {v}")
+        self.processes[v] = proc
+        proc.outbox.watch(self._outbox_changed)
+        if len(proc.outbox):
+            self._nonempty_outboxes += 1
+        for u in attach:
+            self.adjacency[u] = tuple(sorted(self.adjacency[u] + (v,)))
+            self.processes[u].add_neighbor(v)
+            self._dirty.add(u)
+            self._install_channel((v, u))
+            self._install_channel((u, v))
+        self._dirty.add(v)
+        self._sync_channel_network_size()
+        self._note_topology_change()
+        return proc
+
+    def remove_node(self, v: NodeId) -> Process:
+        """Node ``v`` leaves the network, taking its incident links along.
+
+        Every incident channel is destroyed (in-flight messages dropped and
+        counted), every ex-neighbour evicts ``v`` from its neighbour set,
+        and all per-node kernel state (enabled flag, dirty mark, snapshot
+        caches, outbox watch) is released.  Returns the removed process.
+        """
+        if v not in self.adjacency:
+            raise SimulationError(f"unknown node {v}")
+        if self.n == 1:
+            raise SimulationError("cannot remove the last node of the network")
+        ex_neighbors = list(self.adjacency[v])
+        for u in ex_neighbors:
+            self._drop_channel((v, u))
+            self._drop_channel((u, v))
+            self.adjacency[u] = tuple(x for x in self.adjacency[u] if x != v)
+            self.processes[u].remove_neighbor(v)
+            self._dirty.add(u)
+        self.m -= len(ex_neighbors)
+        proc = self.processes.pop(v)
+        if len(proc.outbox):
+            self._nonempty_outboxes -= 1
+        proc.outbox.unwatch()
+        self._own_graph().remove_node(v)
+        self.n -= 1
+        self.node_ids.remove(v)
+        del self.adjacency[v]
+        self._disabled.discard(v)
+        self._dirty.discard(v)
+        self._node_snaps.pop(v, None)
+        self._node_views.pop(v, None)
+        self._node_keys.pop(v, None)
+        self._sync_channel_network_size()
+        self._note_topology_change()
+        return proc
+
     # -- message plumbing ------------------------------------------------------
 
     def flush_outbox(self, v: NodeId) -> int:
@@ -444,14 +666,19 @@ class Network:
         return sum(p.state_bits(self.n) for p in self.processes.values())
 
     def max_channel_message_bits(self) -> int:
-        """Largest message (in bits) ever placed on any channel."""
-        if not self.channels:
-            return 0
-        return max(c.stats.max_message_bits for c in self.channels.values())
+        """Largest message (in bits) ever placed on any channel.
+
+        Covers channels destroyed by topology churn: their statistics are
+        retired into an aggregate rather than discarded."""
+        live = max((c.stats.max_message_bits for c in self.channels.values()),
+                   default=0)
+        return max(live, self._retired_max_message_bits)
 
     def total_messages_sent(self) -> int:
-        """Total number of messages pushed onto channels since construction."""
-        return sum(c.stats.sent for c in self.channels.values())
+        """Total messages pushed onto channels since construction (live
+        channels plus any destroyed by topology churn)."""
+        return (sum(c.stats.sent for c in self.channels.values())
+                + self._retired_messages_sent)
 
     def degree(self, v: NodeId) -> int:
         """Graph degree of ``v`` (``|N(v)|``)."""

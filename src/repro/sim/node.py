@@ -60,6 +60,10 @@ class Outbox:
         """Install the non-empty-transition callback ``(outbox, delta) -> None``."""
         self._on_change = on_change
 
+    def unwatch(self) -> None:
+        """Remove the activity callback (the owning network is letting go)."""
+        self._on_change = None
+
     def append(self, dest: NodeId, message: Message) -> None:
         items = self._items
         items.append((dest, message))
@@ -119,6 +123,35 @@ class Process(abc.ABC):
         for u in self.neighbors:
             if u not in exclude:
                 outbox.append(u, message)
+
+    # -- dynamic topology ------------------------------------------------------
+
+    def add_neighbor(self, u: NodeId) -> None:
+        """A new communication link to ``u`` appeared (live topology change).
+
+        The paper assumes an underlying self-stabilizing protocol keeps the
+        neighbour set current; the network calls this when that set grows.
+        Subclasses override to initialise per-neighbour protocol state and
+        must call ``super().add_neighbor(u)`` first.
+        """
+        if u == self.node_id:
+            raise ProtocolError(f"node {self.node_id} cannot neighbour itself")
+        if u in self._neighbor_set:
+            raise ProtocolError(f"node {self.node_id} already neighbours {u}")
+        self.neighbors = tuple(sorted(self.neighbors + (u,)))
+        self._neighbor_set = frozenset(self.neighbors)
+
+    def remove_neighbor(self, u: NodeId) -> None:
+        """The communication link to ``u`` disappeared (live topology change).
+
+        Subclasses override to evict cached per-neighbour state and re-enter
+        their correction phase; they must call ``super().remove_neighbor(u)``
+        first.
+        """
+        if u not in self._neighbor_set:
+            raise ProtocolError(f"node {self.node_id} does not neighbour {u}")
+        self.neighbors = tuple(v for v in self.neighbors if v != u)
+        self._neighbor_set = frozenset(self.neighbors)
 
     # -- protocol hooks --------------------------------------------------------
 

@@ -9,6 +9,8 @@ The :class:`Simulator` ties together the pieces defined in this subpackage:
 * optional :class:`~repro.sim.monitors.InvariantMonitor` safety checks,
 * an optional :class:`~repro.sim.faults.FaultPlan` for mid-run transient
   faults,
+* an optional :class:`~repro.sim.faults.ChurnPlan` for live topology
+  changes (node/edge churn), composable with the fault plan,
 * an optional :class:`~repro.sim.trace.TraceRecorder`.
 
 ``Simulator.run`` executes rounds until the convergence monitor fires (plus,
@@ -24,7 +26,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError, ConvergenceError
-from .faults import FaultPlan
+from .faults import ChurnPlan, FaultPlan
 from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor, PredicateCache
 from .network import Network
 from .scheduler import RoundStats, Scheduler, SynchronousScheduler
@@ -58,6 +60,10 @@ class SimulationReport:
     quiescent: bool = False
     predicate_evaluations: int = 0
     predicate_cache_hits: int = 0
+    churn_rounds: List[int] = field(default_factory=list)
+    churn_applied: int = 0
+    churn_skipped: int = 0
+    dropped_messages: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for tabular reporting."""
@@ -94,6 +100,12 @@ class Simulator:
         Optional ``(name, check)`` pairs verified after every round.
     fault_plan:
         Optional schedule of mid-run transient faults.
+    churn_plan:
+        Optional schedule of live topology changes (node/edge churn),
+        applied through the network's mutation APIs after the round they
+        are due.  Composable with ``fault_plan``: when both have events due
+        after the same round, churn fires first, then the fault corrupts
+        (a fraction of) the *mutated* node set.
     trace:
         Optional trace recorder.
     rng:
@@ -114,6 +126,7 @@ class Simulator:
                  stability_window: int = 3,
                  invariants: Optional[List[tuple[str, Callable[[Network], bool | str]]]] = None,
                  fault_plan: Optional[FaultPlan] = None,
+                 churn_plan: Optional[ChurnPlan] = None,
                  trace: Optional[TraceRecorder] = None,
                  rng: Optional[np.random.Generator] = None,
                  cache_predicate: bool = True):
@@ -131,6 +144,12 @@ class Simulator:
         self.invariant_monitor = (InvariantMonitor(invariants)
                                   if invariants else None)
         self.fault_plan = fault_plan
+        self.churn_plan = churn_plan
+        self._churn_rounds: List[int] = []
+        # Outcome lists accumulate on the plan object; baseline lengths let
+        # the report count only this run's events when a plan is reused.
+        self._churn_baseline = ((len(churn_plan.applied), len(churn_plan.skipped))
+                                if churn_plan is not None else (0, 0))
         self.trace = trace
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.rounds_executed = 0
@@ -155,6 +174,17 @@ class Simulator:
         stats = self.scheduler.run_round(self.network, self.trace)
         self.rounds_executed += 1
         round_index = self.rounds_executed
+        if self.churn_plan is not None:
+            # Churn before faults: a fault due the same round corrupts the
+            # already-mutated node set.
+            if self.churn_plan.apply_due(self.network, round_index):
+                self._churn_rounds.append(round_index)
+                if self.monitor is not None:
+                    # A topology event may leave legitimacy intact (removing
+                    # a non-tree edge, say); reset the stability streak
+                    # anyway so the reported convergence round can never
+                    # predate the last applied event.
+                    self.monitor.reset_stability()
         if self.fault_plan is not None:
             self.fault_plan.apply_due(self.network, self.rng, round_index)
         if self.invariant_monitor is not None:
@@ -205,10 +235,15 @@ class Simulator:
             if self.monitor.converged:
                 if converged_at is None:
                     converged_at = self.monitor.converged_round
-                # Keep simulating while a fault is still scheduled in the future.
-                future_faults = (self.fault_plan is not None
-                                 and self.fault_plan.last_round >= self.rounds_executed)
-                if future_faults:
+                # Keep simulating while a fault or a topology change is
+                # still scheduled in the future: a convergence declared now
+                # would predate the disruption it must recover from.
+                future_disruptions = (
+                    (self.fault_plan is not None
+                     and self.fault_plan.last_round >= self.rounds_executed)
+                    or (self.churn_plan is not None
+                        and self.churn_plan.last_round >= self.rounds_executed))
+                if future_disruptions:
                     converged_at = None
                     self.monitor.reset_stability()
                     continue
@@ -241,4 +276,10 @@ class Simulator:
                                    if self.predicate_cache else 0),
             predicate_cache_hits=(self.predicate_cache.hits
                                   if self.predicate_cache else 0),
+            churn_rounds=list(self._churn_rounds),
+            churn_applied=(len(self.churn_plan.applied) - self._churn_baseline[0]
+                           if self.churn_plan else 0),
+            churn_skipped=(len(self.churn_plan.skipped) - self._churn_baseline[1]
+                           if self.churn_plan else 0),
+            dropped_messages=self.network.dropped_messages,
         )

@@ -18,6 +18,7 @@ from repro.analysis import (
     evaluate_tree,
     format_csv,
     format_table,
+    gini,
     log_n_bits,
     loglog_slope,
     memory_report,
@@ -45,6 +46,24 @@ class TestMetrics:
         assert q.gap_to_optimal is None
         assert q.lower_bound >= 2
         assert "degree" in q.as_dict()
+
+    def test_gini_even_distribution_is_zero(self):
+        assert gini([3, 3, 3, 3]) == pytest.approx(0.0)
+
+    def test_gini_degenerate_inputs(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_gini_extreme_concentration(self):
+        # one node carries all the load: G -> (n-1)/n
+        n = 10
+        values = [0] * (n - 1) + [100]
+        assert gini(values) == pytest.approx((n - 1) / n)
+
+    def test_gini_order_invariant_and_bounded(self):
+        values = [1, 5, 2, 9, 3]
+        assert gini(values) == pytest.approx(gini(sorted(values, reverse=True)))
+        assert 0.0 <= gini(values) < 1.0
 
     def test_degree_gap_helper(self):
         assert degree_gap(4, 3) == 1

@@ -64,6 +64,41 @@ def test_sweep_workers_byte_identical_and_cache_short_circuits(tmp_path, capsys)
     assert out4b.read_bytes() == out1.read_bytes()
 
 
+def test_run_unknown_family_lists_registered_names(capsys):
+    assert main(["run", "--family", "bogus", "--n", "8"]) == 1
+    err = capsys.readouterr().err
+    assert "bogus" in err
+    assert "registered families" in err
+    assert "erdos_renyi_sparse" in err and "wheel" in err
+
+
+def test_sweep_unknown_family_fails_before_any_run(capsys):
+    assert main(["sweep", "--families", "wheel,bogus,phantom",
+                 "--sizes", "8"]) == 1
+    captured = capsys.readouterr()
+    assert "bogus" in captured.err and "phantom" in captured.err
+    assert "registered families" in captured.err
+    # validation fires before the engine: no "sweep: N runs" banner
+    assert "sweep:" not in captured.err
+
+
+def test_run_churn_task_via_cli(capsys):
+    assert main(["run", "--task", "churn", "--family", "erdos_renyi_sparse",
+                 "--n", "12", "--seed", "5", "--max-rounds", "4000",
+                 "--churn-rate", "0.05", "--churn-start", "60",
+                 "--churn-events", "3", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["spec"]["task"] == "churn"
+    assert data["row"]["churn_applied"] + data["row"]["churn_skipped"] == 3
+    assert data["row"]["converged"] is True
+
+
+def test_run_rejects_churn_flags_without_churn_task(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8",
+                 "--churn-rate", "0.1", "--churn-events", "3"]) == 1
+    assert "--task churn" in capsys.readouterr().err
+
+
 def test_sweep_csv_output(capsys):
     assert main(["sweep", "--families", "wheel", "--sizes", "8",
                  "--max-rounds", "2000", "--csv"]) == 0

@@ -139,6 +139,53 @@ class TestTasks:
         assert faulty_row["converged"] is True
 
 
+class TestChurnSpecs:
+    def test_churn_fields_round_trip(self):
+        spec = RunSpec(task="churn", family="erdos_renyi_sparse", n=12,
+                       seed=5, churn_rate=0.05, churn_start=60,
+                       churn_events=4)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert spec.churn_enabled
+        assert spec.churn_period == 20
+
+    def test_churn_params_change_the_cache_key(self):
+        base = RunSpec(task="churn", churn_rate=0.05, churn_events=4)
+        assert spec_key(base) != spec_key(dataclasses.replace(base, churn_rate=0.1))
+        assert spec_key(base) != spec_key(dataclasses.replace(base, churn_events=5))
+        assert spec_key(base) != spec_key(dataclasses.replace(base, churn_start=99))
+
+    def test_build_churn_plan_deterministic_and_disabled_by_default(self):
+        spec = RunSpec(task="churn", family="erdos_renyi_sparse", n=12,
+                       seed=5, churn_rate=0.05, churn_start=60,
+                       churn_events=4)
+        graph = spec.build_graph()
+        p1, p2 = spec.build_churn_plan(graph), spec.build_churn_plan(graph)
+        assert p1.events == p2.events and len(p1.events) == 4
+        assert [e.round_index for e in p1.events] == [60, 80, 100, 120]
+        assert RunSpec().build_churn_plan(graph) is None
+
+    def test_churn_task_executes_and_reports_recovery(self):
+        spec = RunSpec(task="churn", family="erdos_renyi_sparse", n=12,
+                       seed=5, max_rounds=4000, churn_rate=0.05,
+                       churn_start=60, churn_events=3)
+        outcome = execute_spec(spec)
+        row = outcome.row
+        assert row["churn_applied"] + row["churn_skipped"] == 3
+        assert row["converged"] is True
+        assert row["recovery_rounds"] is None or row["recovery_rounds"] >= 0
+        assert row["rounds_per_sec"] > 0
+        assert outcome.record is not None
+
+    def test_churn_task_is_never_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = RunSpec(task="churn", family="wheel", n=8, seed=3,
+                       max_rounds=2000, churn_rate=0.1, churn_events=2)
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.execute([spec])
+        engine.execute([spec])
+        assert engine.last_stats.cache_hits == 0
+
+
 class TestEngineDeterminism:
     def test_same_seed_same_records_1_vs_n_workers(self):
         specs = tiny_sweep().expand()

@@ -1,11 +1,13 @@
 """Equivalence tests for the dirty-set incremental snapshot kernel.
 
 The property at stake: after *any* interleaving of sends, deliveries,
-corruptions, fault-style out-of-band writes, enable/disable toggles and
-cache-churning snapshot reads, the incrementally maintained
+corruptions, fault-style out-of-band writes, enable/disable toggles,
+cache-churning snapshot reads **and live topology events** (node/edge churn
+through the network mutation APIs), the incrementally maintained
 ``Network.snapshots()`` / ``Network.snapshot_key()`` must equal a
-from-scratch recomputation -- both against the network's own processes and
-against a fresh identical network driven through the same operations.
+from-scratch recomputation -- against the network's own processes, against
+a fresh identical network driven through the same operations, and against a
+fresh network *built from the mutated graph* with the live state installed.
 
 Also covers the satellites that ride on the same plumbing: the read-only
 snapshot views, the targeted ``note_state_write(node)`` invalidation, the
@@ -14,6 +16,7 @@ O(1) quiescence counter and the interned gossip payload.
 
 from __future__ import annotations
 
+import networkx as nx
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -48,7 +51,11 @@ def build_net(family: str, n: int, seed: int) -> Network:
 
 
 def apply_op(net: Network, sched: SynchronousScheduler, op: tuple, index: int) -> None:
-    """Apply one mutation/read operation; deterministic given (op, index)."""
+    """Apply one mutation/read operation; deterministic given (op, index).
+
+    Topology operations (codes 10-13) stay connectivity-preserving so the
+    mutated graph is always a legal :class:`Network` input.
+    """
     code, a, b = op
     n = net.n
     v = net.node_ids[a % n]
@@ -75,12 +82,33 @@ def apply_op(net: Network, sched: SynchronousScheduler, op: tuple, index: int) -
         net.note_state_write()
     elif code == 8:                                 # churn the snapshot cache
         net.snapshots()
-    else:                                           # churn the key cache
+    elif code == 9:                                 # churn the key cache
         net.snapshot_key()
+    elif code == 10:                                # topology: add an edge
+        absent = sorted((u, w) for u in net.node_ids for w in net.node_ids
+                        if u < w and not net.has_edge(u, w))
+        if absent:
+            net.add_edge(*absent[b % len(absent)])
+    elif code == 11:                                # topology: remove a non-bridge edge
+        bridges = {tuple(sorted(e)) for e in nx.bridges(net.graph)}
+        removable = sorted(e for e in
+                           (tuple(sorted(edge)) for edge in net.graph.edges)
+                           if e not in bridges)
+        if removable:
+            net.remove_edge(*removable[b % len(removable)])
+    elif code == 12:                                # topology: a node joins
+        attach = sorted({net.node_ids[a % n], net.node_ids[b % n]})
+        net.add_node(max(net.node_ids) + 1, attach)
+    else:                                           # topology: a node leaves
+        if net.n > 3:
+            cut = set(nx.articulation_points(net.graph))
+            leavable = [u for u in net.node_ids if u not in cut]
+            if leavable:
+                net.remove_node(leavable[a % len(leavable)])
 
 
 ops_strategy = st.lists(
-    st.tuples(st.integers(0, 9), st.integers(0, 63), st.integers(0, 63)),
+    st.tuples(st.integers(0, 13), st.integers(0, 63), st.integers(0, 63)),
     min_size=1, max_size=25)
 
 
@@ -114,6 +142,44 @@ class TestIncrementalEquivalence:
             net_b.snapshot_key()        # rebuild B's caches at every step
         assert dict(net_a.snapshots()) == dict(net_b.snapshots())
         assert net_a.snapshot_key() == net_b.snapshot_key()
+
+    @SETTINGS
+    @given(family=st.sampled_from(FAMILIES), n=st.integers(5, 9),
+           seed=st.integers(0, 5), ops=ops_strategy)
+    def test_matches_network_rebuilt_from_mutated_graph(self, family, n, seed, ops):
+        """Post-churn cache coherence: after any interleaving of topology
+        events, deliveries and corruptions, the live network's
+        ``snapshots()``/``snapshot_key()`` equal those of a *fresh* network
+        built from the mutated graph with the same protocol state installed
+        -- no incremental structure leaks state from dead nodes or edges."""
+        net = build_net(family, n, seed)
+        sched = SynchronousScheduler()
+        for index, op in enumerate(ops):
+            apply_op(net, sched, op, index)
+        fresh = Network(net.graph.copy(),
+                        lambda v, nbrs: _clone_process(net.processes[v], nbrs))
+        assert fresh.node_ids == net.node_ids
+        assert fresh.adjacency == net.adjacency
+        assert set(fresh.channels) == set(net.channels)
+        assert dict(fresh.snapshots()) == dict(net.snapshots())
+        assert fresh.snapshot_key() == net.snapshot_key()
+
+
+def _clone_process(proc, neighbors):
+    """A fresh MDSTNode over ``neighbors`` carrying ``proc``'s protocol state."""
+    from repro.core.node_algorithm import MDSTNode
+
+    clone = MDSTNode(proc.node_id, neighbors, n_upper=proc.n_upper)
+    src, dst = proc.s, clone.s
+    for name in ("root", "parent", "distance", "sub_max", "dmax", "color"):
+        setattr(dst, name, getattr(src, name))
+    assert set(src.view) == set(dst.view)
+    for u, sv in src.view.items():
+        dv = dst.view[u]
+        for name in ("root", "parent", "distance", "degree", "sub_max",
+                     "dmax", "color", "heard"):
+            setattr(dv, name, getattr(sv, name))
+    return clone
 
 
 class TestReadOnlySnapshots:
