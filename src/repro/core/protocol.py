@@ -14,6 +14,12 @@ It builds a simulated network whose every node runs
 configuration (a coherent tree, fully corrupted state, or every node alone),
 runs the simulator under the chosen scheduler until the legitimacy predicate
 stabilizes, and packages the outcome.
+
+Execution is delegated to the protocol-agnostic engine
+(:func:`repro.protocols.runner.run_protocol`) through the registry's MDST
+adapter (:class:`repro.protocols.mdst.MDSTProtocol`): :func:`run_mdst` is
+the MDST-flavoured view -- :class:`MDSTConfig` in, :class:`MDSTResult`
+out -- of the one generic code path every registered protocol shares.
 """
 
 from __future__ import annotations
@@ -32,13 +38,13 @@ from ..graphs.spanning import (
     tree_degrees,
 )
 from ..graphs.validation import check_network
+from ..protocols.base import ProtocolRunConfig
+from ..protocols.runner import run_protocol
 from ..sim.faults import ChurnPlan, FaultPlan, corrupt_channels, corrupt_states
 from ..sim.network import Network
-from ..sim.scheduler import make_scheduler
-from ..sim.simulator import SimulationReport, Simulator
+from ..sim.simulator import SimulationReport
 from ..sim.trace import TraceRecorder
-from ..types import Edge, NodeId, RunResult, TreeSnapshot, canonical_edges
-from .legitimacy import current_tree_degree, current_tree_edges, make_mdst_legitimacy
+from ..types import Edge, NodeId, RunResult, canonical_edges
 from .node_algorithm import MDSTNode, mdst_node_factory
 
 __all__ = ["MDSTConfig", "MDSTResult", "build_mdst_network", "initialize_from_tree",
@@ -137,6 +143,34 @@ class MDSTConfig:
             raise ConfigurationError("stability_window must be >= 1")
         if self.n_upper is not None and self.n_upper < 2:
             raise ConfigurationError("n_upper must be >= 2")
+
+    def protocol_run_config(self) -> ProtocolRunConfig:
+        """This configuration as a generic :class:`ProtocolRunConfig`.
+
+        The MDST-specific knobs (``search_period``, ``deblock_cooldown``,
+        ``enable_reduction``) travel in ``options`` and are interpreted by
+        the registry's MDST adapter.
+        """
+        return ProtocolRunConfig(
+            protocol="mdst",
+            scheduler=self.scheduler,
+            seed=self.seed,
+            initial=self.initial,
+            corrupt_channel_fraction=self.corrupt_channel_fraction,
+            stability_window=self.stability_window,
+            max_rounds=self.max_rounds,
+            extra_rounds_after_convergence=self.extra_rounds_after_convergence,
+            keep_trace_events=self.keep_trace_events,
+            slow_links=self.slow_links,
+            max_delay=self.max_delay,
+            node_weights=self.node_weights,
+            n_upper=self.n_upper,
+            options={
+                "search_period": self.search_period,
+                "deblock_cooldown": self.deblock_cooldown,
+                "enable_reduction": self.enable_reduction,
+            },
+        )
 
 
 @dataclass
@@ -297,64 +331,19 @@ def run_mdst(graph: nx.Graph, config: Optional[MDSTConfig] = None,
     MDSTResult
         Convergence flag, round/step/message counts, final tree and per-node
         protocol statistics.
+
+    Notes
+    -----
+    This is a thin wrapper over the generic
+    :func:`repro.protocols.runner.run_protocol` with ``protocol="mdst"``;
+    both entry points execute the identical code path.
     """
     config = config or MDSTConfig()
     config.validate()
-    rng = np.random.default_rng(config.seed)
-    network = build_mdst_network(graph, config)
-    if initial_tree is not None:
-        initialize_from_tree(network, initial_tree)
-    else:
-        _prepare_initial(network, config, rng)
-    legitimacy = make_mdst_legitimacy(require_reduction=config.enable_reduction)
-    scheduler = make_scheduler(config.scheduler, seed=config.seed,
-                               slow_links=config.slow_links, max_delay=config.max_delay,
-                               weights=config.node_weights)
-    trace = TraceRecorder(keep_events=config.keep_trace_events,
-                          network_size=graph.number_of_nodes())
-    simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,
-                          stability_window=config.stability_window,
-                          fault_plan=fault_plan, churn_plan=churn_plan,
-                          trace=trace, rng=rng)
-    report = simulator.run(max_rounds=config.max_rounds,
-                           extra_rounds_after_convergence=config.extra_rounds_after_convergence)
-    tree_edges = current_tree_edges(network)
-    tree_degree_now = current_tree_degree(network)
-    tree_snapshot: Optional[TreeSnapshot] = None
-    if report.converged:
-        snaps = network.snapshots()
-        parent = {v: int(snaps[v]["parent"]) for v in network.node_ids}
-        try:
-            tree_snapshot = TreeSnapshot.from_parent_map(parent)
-        except ValueError:
-            tree_snapshot = None
-    extra = {
-        "convergence_round": report.convergence_round,
-        "max_message_bits": report.max_message_bits,
-        "max_state_bits": report.max_state_bits,
-        "deliveries_by_type": trace.deliveries_by_type(),
-    }
-    final_graph: Optional[nx.Graph] = None
-    if churn_plan is not None:
-        # Churned runs report against the mutated topology.
-        extra["churn_applied"] = report.churn_applied
-        extra["churn_skipped"] = report.churn_skipped
-        extra["churn_rounds"] = list(report.churn_rounds)
-        extra["dropped_messages"] = report.dropped_messages
-        extra["final_n"] = network.n
-        extra["final_m"] = network.m
-        final_graph = network.graph
-    run = RunResult(
-        converged=report.converged,
-        rounds=report.rounds,
-        steps=report.steps,
-        messages=report.messages_sent,
-        tree=tree_snapshot,
-        tree_degree=tree_degree_now,
-        extra=extra,
-    )
-    node_stats = {v: dict(network.processes[v].stats)  # type: ignore[attr-defined]
-                  for v in network.node_ids}
-    return MDSTResult(run=run, report=report, trace=trace,
-                      tree_edges=tree_edges, node_stats=node_stats,
-                      final_graph=final_graph)
+    result = run_protocol(graph, config.protocol_run_config(),
+                          initial_tree=initial_tree,
+                          fault_plan=fault_plan, churn_plan=churn_plan)
+    return MDSTResult(run=result.run, report=result.report, trace=result.trace,
+                      tree_edges=result.tree_edges,
+                      node_stats=result.node_stats,
+                      final_graph=result.final_graph)

@@ -1,0 +1,186 @@
+"""The generic protocol runner: one engine for every registered protocol.
+
+:func:`run_protocol` is the protocol-agnostic twin of the historical
+:func:`repro.core.protocol.run_mdst` (which is now a thin wrapper over it):
+build the network through the adapter, install the requested initial
+configuration, run the simulator under the chosen scheduler until the
+adapter's legitimacy predicate stabilizes, and package the outcome.  Every
+step that used to be hard-wired to the MDST node -- process construction,
+initial policies, the legitimacy predicate, metrics extraction -- routes
+through the :class:`~repro.protocols.base.ProtocolAdapter` contract, so
+fault plans, churn plans, schedulers, tracing and the incremental
+predicate cache work identically for all protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..sim.faults import ChurnPlan, FaultPlan
+from ..sim.scheduler import make_scheduler
+from ..sim.simulator import SimulationReport, Simulator
+from ..sim.trace import TraceRecorder
+from ..stabilization.predicates import (
+    snapshot_tree_degree,
+    tree_edges_from_snapshots,
+)
+from ..types import Edge, NodeId, RunResult, TreeSnapshot
+from .base import ProtocolAdapter, ProtocolRunConfig
+from .registry import get_protocol
+
+__all__ = ["ProtocolResult", "run_protocol"]
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of :func:`run_protocol`, protocol-agnostic.
+
+    The shape mirrors :class:`repro.core.protocol.MDSTResult` (which is the
+    MDST-flavoured view of this object): ``tree_edges`` is the edge set
+    induced by the per-node ``parent`` snapshots (every registered protocol
+    maintains a parent pointer), ``node_stats`` the per-node protocol
+    counters for processes that keep them, and ``final_graph`` the mutated
+    communication graph of churned runs.
+    """
+
+    protocol: str
+    run: RunResult
+    report: SimulationReport
+    trace: Optional[TraceRecorder]
+    tree_edges: "set[Edge]"
+    node_stats: Dict[NodeId, Dict[str, int]]
+    final_graph: Optional[nx.Graph] = None
+
+    @property
+    def converged(self) -> bool:
+        return self.run.converged
+
+    @property
+    def tree_degree(self) -> int:
+        return self.run.tree_degree
+
+    @property
+    def rounds(self) -> int:
+        return self.run.rounds
+
+
+def run_protocol(graph: nx.Graph,
+                 config: Optional[ProtocolRunConfig] = None,
+                 *,
+                 adapter: Optional[ProtocolAdapter] = None,
+                 initial_tree: Optional[Iterable[Edge]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 churn_plan: Optional[ChurnPlan] = None) -> ProtocolResult:
+    """Run a registered self-stabilizing protocol on ``graph`` to convergence.
+
+    Parameters
+    ----------
+    graph:
+        Undirected connected network.
+    config:
+        Run configuration; ``config.protocol`` names the registry entry
+        (defaults to :class:`ProtocolRunConfig` defaults, i.e. ``"mdst"``).
+    adapter:
+        Explicit adapter, bypassing the registry lookup (used by wrappers
+        that already hold one; normal callers never pass it).
+    initial_tree:
+        Explicit initial spanning tree (overrides ``config.initial``); only
+        protocols with ``supports_initial_tree`` accept it.
+    fault_plan:
+        Optional schedule of mid-run transient faults; requires
+        ``supports_faults``.
+    churn_plan:
+        Optional schedule of live topology changes; requires
+        ``supports_churn``.  Convergence is then judged against the
+        *mutated* graph (the legitimacy predicate reads the live network),
+        and runs expecting node joins should pass ``config.n_upper``
+        headroom.
+
+    Returns
+    -------
+    ProtocolResult
+        Convergence flag, round/step/message counts, induced tree and
+        per-node protocol statistics.
+    """
+    config = config or ProtocolRunConfig()
+    if adapter is None:
+        adapter = get_protocol(config.protocol)
+    adapter.validate_config(config)
+    if churn_plan is not None and not adapter.supports_churn:
+        raise ConfigurationError(
+            f"protocol {adapter.name!r} does not support topology churn")
+    if fault_plan is not None and not adapter.supports_faults:
+        raise ConfigurationError(
+            f"protocol {adapter.name!r} does not support fault injection")
+    if initial_tree is not None and not adapter.supports_initial_tree:
+        raise ConfigurationError(
+            f"protocol {adapter.name!r} does not accept an explicit initial tree")
+    rng = np.random.default_rng(config.seed)
+    network = adapter.build_network(graph, config)
+    if initial_tree is not None:
+        adapter.install_tree(network, initial_tree)
+    else:
+        adapter.prepare_initial(network, config, rng)
+    legitimacy = adapter.make_legitimacy(network, config)
+    scheduler = make_scheduler(config.scheduler, seed=config.seed,
+                               slow_links=config.slow_links,
+                               max_delay=config.max_delay,
+                               weights=config.node_weights)
+    trace = TraceRecorder(keep_events=config.keep_trace_events,
+                          network_size=graph.number_of_nodes())
+    simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,
+                          stability_window=config.stability_window,
+                          fault_plan=fault_plan, churn_plan=churn_plan,
+                          trace=trace, rng=rng)
+    report = simulator.run(
+        max_rounds=config.max_rounds,
+        extra_rounds_after_convergence=config.extra_rounds_after_convergence)
+    tree_edges = tree_edges_from_snapshots(network)
+    tree_degree_now = snapshot_tree_degree(network)
+    tree_snapshot: Optional[TreeSnapshot] = None
+    if report.converged:
+        snaps = network.snapshots()
+        # Default missing parent pointers to self (an adapter's snapshot is
+        # not required to expose one): from_parent_map then rejects the
+        # forest and the result simply carries no tree snapshot.
+        parent = {v: int(snaps[v].get("parent", v)) for v in network.node_ids}
+        try:
+            tree_snapshot = TreeSnapshot.from_parent_map(parent)
+        except ValueError:
+            tree_snapshot = None
+    extra: Dict[str, object] = {
+        "convergence_round": report.convergence_round,
+        "max_message_bits": report.max_message_bits,
+        "max_state_bits": report.max_state_bits,
+        "deliveries_by_type": trace.deliveries_by_type(),
+    }
+    extra.update(adapter.extract_metrics(network, report, config))
+    final_graph: Optional[nx.Graph] = None
+    if churn_plan is not None:
+        # Churned runs report against the mutated topology.
+        extra["churn_applied"] = report.churn_applied
+        extra["churn_skipped"] = report.churn_skipped
+        extra["churn_rounds"] = list(report.churn_rounds)
+        extra["dropped_messages"] = report.dropped_messages
+        extra["final_n"] = network.n
+        extra["final_m"] = network.m
+        final_graph = network.graph
+    run = RunResult(
+        converged=report.converged,
+        rounds=report.rounds,
+        steps=report.steps,
+        messages=report.messages_sent,
+        tree=tree_snapshot,
+        tree_degree=tree_degree_now,
+        extra=extra,
+    )
+    node_stats = {v: dict(getattr(network.processes[v], "stats", {}))
+                  for v in network.node_ids}
+    return ProtocolResult(protocol=adapter.name, run=run, report=report,
+                          trace=trace, tree_edges=tree_edges,
+                          node_stats=node_stats, final_graph=final_graph)

@@ -5,9 +5,10 @@ splits "what to run" from "how to run it":
 
 * :mod:`repro.runtime.spec` -- :class:`RunSpec` (one serializable unit of
   work) and :class:`SweepSpec` (a ``family x size x seed x scheduler x
-  initial`` matrix with deterministic seed derivation);
+  initial x protocol`` matrix with deterministic seed derivation);
 * :mod:`repro.runtime.tasks` -- the registry of picklable task functions
-  executed inside worker processes (protocol runs, reference engine,
+  executed inside worker processes (protocol runs dispatching on the
+  :data:`repro.protocols.PROTOCOLS` registry, the reference engine,
   memory accounting, and the E1-E8 composite measurements);
 * :mod:`repro.runtime.cache` -- on-disk JSON result cache keyed by the
   spec hash, making repeated sweeps incremental;

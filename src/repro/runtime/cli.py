@@ -1,17 +1,22 @@
 """``repro`` -- command-line interface to the reproduction.
 
-Four subcommands, all thin wrappers over :mod:`repro.runtime`:
+Five subcommands, all thin wrappers over :mod:`repro.runtime`:
 
 ``repro run``
     One protocol run on one graph instance; prints the result row.
+    ``--protocol`` picks any entry of the protocol registry.
 ``repro sweep``
-    A ``family x size x seed x scheduler x initial`` matrix executed by the
-    parallel sweep engine, with optional on-disk caching and JSON export.
+    A ``family x size x seed x scheduler x initial x protocol`` matrix
+    executed by the parallel sweep engine, with optional on-disk caching
+    and JSON export.
 ``repro bench``
     The paper's experiments E1-E8 on a named profile, optionally in
     parallel, with tables printed and optionally saved.
 ``repro report``
     Re-render previously saved report JSON (tables, CSV, aggregates).
+``repro protocols``
+    List the registered protocols (the :data:`repro.protocols.PROTOCOLS`
+    registry) with their capabilities.
 
 The module doubles as an executable (``python -m repro.runtime.cli``) and
 is installed as the ``repro`` console script by ``setup.py``.  All data
@@ -32,6 +37,7 @@ from ..analysis.reporting import ExperimentReport
 from ..analysis.tables import format_table
 from ..exceptions import ReproError
 from ..graphs.generators import GRAPH_FAMILIES, family_names
+from ..protocols import PROTOCOLS, churn_capable_names, protocol_names
 from .cache import ResultCache
 from .engine import SweepEngine, default_workers
 from .spec import RunSpec, SweepSpec
@@ -74,26 +80,41 @@ def _check_families(families: Sequence[str]) -> None:
             f"registered families: {', '.join(family_names())}")
 
 
+def _check_protocols(protocols: Sequence[str]) -> None:
+    """Reject unknown protocol names before any work is dispatched,
+    mirroring :func:`_check_families`: the error lists every registry
+    entry so a typo is a one-line fix, not a mid-sweep stack trace."""
+    unknown = sorted(set(protocols) - set(PROTOCOLS))
+    if unknown:
+        noun = "protocol" if len(unknown) == 1 else "protocols"
+        raise ReproError(
+            f"unknown {noun} {', '.join(repr(p) for p in unknown)}; "
+            f"registered protocols: {', '.join(protocol_names())}")
+
+
 # ---------------------------------------------------------------------------
 # Subcommand implementations
 # ---------------------------------------------------------------------------
 
 def cmd_run(args: argparse.Namespace) -> int:
     _check_families([args.family])
-    if (args.churn_rate > 0 or args.churn_events > 0) and args.task != "churn":
-        # Only the churn task reads these; silently ignoring them would let
-        # a static-topology row masquerade as a churn measurement.
-        raise ReproError(
-            f"--churn-rate/--churn-events require --task churn "
-            f"(got --task {args.task})")
+    _check_protocols([args.protocol])
+    # Only the churn task reads the churn knobs; silently ignoring them
+    # would let a static-topology row masquerade as a churn measurement.
+    _check_churn_flags(args)
+    _check_fault_flags(args)
+    _check_churn_protocols(args, [args.protocol])
     spec = RunSpec(
         task=args.task,
+        protocol=args.protocol,
         family=args.family,
         n=args.n,
         seed=args.seed,
         scheduler=args.scheduler,
         initial=args.initial,
         max_rounds=args.max_rounds,
+        fault_round=args.fault_round,
+        fault_fraction=args.fault_fraction,
         churn_rate=args.churn_rate,
         churn_start=args.churn_start,
         churn_events=args.churn_events,
@@ -104,6 +125,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         print(format_table([outcome.row], title=spec.label))
     return 0
+
+
+#: Tasks that actually build a fault plan from the spec's fault knobs.
+FAULT_CAPABLE_TASKS = ("protocol", "throughput", "churn")
+
+
+def _check_churn_flags(args: argparse.Namespace) -> None:
+    """Churn knobs only mean something to the churn task (see cmd_run)."""
+    if (args.churn_rate > 0 or args.churn_events > 0) and args.task != "churn":
+        raise ReproError(
+            f"--churn-rate/--churn-events require --task churn "
+            f"(got --task {args.task})")
+
+
+def _check_fault_flags(args: argparse.Namespace) -> None:
+    """Only the protocol-style tasks inject the spec's fault plan; silently
+    ignoring --fault-round elsewhere would let a clean-run row masquerade
+    as a fault-recovery measurement (same rationale as the churn check)."""
+    if args.fault_round is not None and args.task not in FAULT_CAPABLE_TASKS:
+        raise ReproError(
+            f"--fault-round requires --task "
+            f"{'/'.join(FAULT_CAPABLE_TASKS)} (got --task {args.task})")
+
+
+def _check_churn_protocols(args: argparse.Namespace,
+                           protocols: Sequence[str]) -> None:
+    """For churn sweeps, every protocol must be churn-capable up front."""
+    if args.task != "churn":
+        return
+    unable = sorted(p for p in protocols if not PROTOCOLS[p].supports_churn)
+    if unable:
+        raise ReproError(
+            f"protocol(s) {', '.join(repr(p) for p in unable)} do not "
+            f"support topology churn; churn-capable protocols: "
+            f"{', '.join(churn_capable_names())}")
 
 
 def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
@@ -117,11 +173,21 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
         initials=tuple(args.initials),
         max_rounds=args.max_rounds,
         task=args.task,
+        protocols=tuple(args.protocols),
+        fault_round=args.fault_round,
+        fault_fraction=args.fault_fraction,
+        churn_rate=args.churn_rate,
+        churn_start=args.churn_start,
+        churn_events=args.churn_events,
     )
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     _check_families(args.families)
+    _check_protocols(args.protocols)
+    _check_churn_flags(args)
+    _check_fault_flags(args)
+    _check_churn_protocols(args, args.protocols)
     sweep = _sweep_from_args(args)
     specs = sweep.expand()
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -132,13 +198,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     report = ExperimentReport(
         experiment="sweep",
         description=f"{sweep.task} sweep over {'/'.join(sweep.families)}")
+    cross_protocol = sweep.protocols != ("mdst",)
     for outcome in outcomes:
-        report.add_row(**outcome.row)
+        row = outcome.row
+        if cross_protocol:
+            # A cross-protocol report must keep every row attributable: the
+            # task layer omits the key for the default protocol (that shape
+            # is part of the byte-identity contract of the reproduction
+            # tables, and what the per-spec cache stores), so the *report*
+            # backfills it.  Default single-protocol MDST sweeps keep their
+            # historical output untouched, table and JSON alike.
+            row = {**row, "protocol": row.get("protocol", "mdst")}
+        report.add_row(**row)
     stats = engine.last_stats
     _status(f"sweep: executed {stats.executed}, cache hits {stats.cache_hits}, "
             f"{stats.elapsed_s:.2f}s")
     columns = args.columns or (list(SWEEP_COLUMNS)
                                if sweep.task == "protocol" else None)
+    if cross_protocol and columns is not None and not args.columns:
+        columns.insert(columns.index("initial") + 1, "protocol")
     if args.csv:
         print(report.to_csv(columns=columns))
     else:
@@ -178,6 +256,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for exp_id, report in reports.items():
             report.save(out / f"{exp_id}.json")
         _status(f"bench: {len(reports)} report(s) written to {out}")
+    return 0
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    """List the registered protocols and their capabilities."""
+    rows = []
+    for name in protocol_names():
+        adapter = PROTOCOLS[name]
+        rows.append({
+            "protocol": name,
+            "churn": "yes" if adapter.supports_churn else "no",
+            "faults": "yes" if adapter.supports_faults else "no",
+            "initial policies": "/".join(adapter.initial_policies),
+            "description": adapter.description,
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_table(rows, title="registered protocols"))
     return 0
 
 
@@ -223,9 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scheduler", default="synchronous",
                      choices=("synchronous", "random", "adversarial"))
     run.add_argument("--initial", default="isolated",
-                     choices=("bfs_tree", "random_tree", "isolated", "corrupted"))
+                     help="initial-configuration policy; each protocol "
+                          "declares its own set (see `repro protocols`), "
+                          "e.g. bfs_tree/random_tree/isolated/corrupted "
+                          "for mdst")
     run.add_argument("--max-rounds", type=int, default=5000)
     run.add_argument("--task", default="protocol", choices=task_names())
+    run.add_argument("--protocol", default="mdst",
+                     help="registered protocol to run (see `repro protocols`)")
+    run.add_argument("--fault-round", type=int, default=None,
+                     help="inject a transient fault after this round")
+    run.add_argument("--fault-fraction", type=float, default=0.5,
+                     help="fraction of nodes the fault corrupts")
     run.add_argument("--churn-rate", type=float, default=0.0,
                      help="topology events per round (use with --task churn)")
     run.add_argument("--churn-start", type=int, default=50,
@@ -250,6 +356,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--initials", type=_csv, default=["isolated"])
     sweep.add_argument("--max-rounds", type=int, default=5000)
     sweep.add_argument("--task", default="protocol", choices=task_names())
+    sweep.add_argument("--protocols", type=_csv, default=["mdst"],
+                       help="comma-separated registered protocols; the "
+                            "matrix multiplies across them "
+                            "(see `repro protocols`)")
+    sweep.add_argument("--fault-round", type=int, default=None,
+                       help="inject a transient fault after this round "
+                            "in every run of the matrix")
+    sweep.add_argument("--fault-fraction", type=float, default=0.5,
+                       help="fraction of nodes the fault corrupts")
+    sweep.add_argument("--churn-rate", type=float, default=0.0,
+                       help="topology events per round (use with --task churn)")
+    sweep.add_argument("--churn-start", type=int, default=50,
+                       help="first round after which churn may fire")
+    sweep.add_argument("--churn-events", type=int, default=0,
+                       help="total scheduled topology events per run")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial fallback; "
                             f"this machine's default would be {default_workers()})")
@@ -281,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--value", default=None,
                         help="aggregate: mean of this column per group")
     report.set_defaults(func=cmd_report)
+
+    protocols = sub.add_parser(
+        "protocols", help="list the registered protocols")
+    protocols.add_argument("--json", action="store_true",
+                           help="print the registry as JSON")
+    protocols.set_defaults(func=cmd_protocols)
     return parser
 
 

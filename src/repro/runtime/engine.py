@@ -161,11 +161,20 @@ def run_sweep(sweep: SweepSpec, workers: int = 1,
     True
     """
     engine = SweepEngine(workers=workers, cache=cache)
-    report = engine.report(
-        sweep.expand(),
+    outcomes = engine.execute(sweep.expand())
+    report = ExperimentReport(
         experiment="sweep",
         description=f"{sweep.task} sweep over {'/'.join(sweep.families)}",
     )
+    cross_protocol = sweep.protocols != ("mdst",)
+    for outcome in outcomes:
+        row = outcome.row
+        if cross_protocol:
+            # Keep every row of a cross-protocol report attributable; the
+            # task layer omits the key for the default protocol (the
+            # historical row shape) -- see cmd_sweep in runtime/cli.py.
+            row = {**row, "protocol": row.get("protocol", "mdst")}
+        report.add_row(**row)
     report.metadata["sweep"] = {
         "families": list(sweep.families),
         "sizes": list(sweep.sizes),

@@ -13,8 +13,8 @@ configuration.  Because a spec is a frozen dataclass of primitives it can be
   report loader.
 
 A :class:`SweepSpec` describes a *matrix* of runs -- the cartesian product
-``workload family x size x seed x scheduler x initial configuration`` -- and
-expands it into an ordered list of :class:`RunSpec`.  Per-repetition seeds
+``workload family x size x seed x scheduler x initial configuration x
+protocol`` -- and expands it into an ordered list of :class:`RunSpec`.  Per-repetition seeds
 are derived deterministically from a single master seed through
 :func:`repro.sim.rng.derive_seed`, so adding repetitions never changes the
 seeds of existing runs and the expansion is reproducible byte-for-byte.
@@ -32,6 +32,7 @@ import networkx as nx
 from ..core.protocol import MDSTConfig
 from ..exceptions import ConfigurationError
 from ..graphs.generators import make_graph
+from ..protocols.base import ProtocolRunConfig
 from ..sim.faults import ChurnPlan, random_churn_plan
 from ..sim.rng import derive_seed
 
@@ -40,7 +41,9 @@ __all__ = ["RunSpec", "SweepSpec", "spec_key", "CACHE_SCHEMA_VERSION"]
 #: Bumped whenever the result schema or the simulation semantics change in a
 #: way that invalidates previously cached outcomes.  2: RunSpec grew the
 #: churn parameters (``churn_rate``/``churn_start``/``churn_events``).
-CACHE_SCHEMA_VERSION = 2
+#: 3: RunSpec grew the ``protocol`` field (the unified protocol registry);
+#: every cache key now embeds the protocol that produced the row.
+CACHE_SCHEMA_VERSION = 3
 
 #: Stream index for deriving a run's churn-plan seed from its master seed
 #: (decoupled from the repetition streams used by :class:`SweepSpec`).
@@ -56,6 +59,11 @@ class RunSpec:
     task:
         Name of the task in :data:`repro.runtime.tasks.TASKS` that executes
         this spec (``"protocol"``, ``"reference"``, ``"memory"``, ...).
+    protocol:
+        Name of the protocol in the :data:`repro.protocols.PROTOCOLS`
+        registry that protocol-style tasks (``protocol``/``throughput``/
+        ``churn``) execute; MDST-only tasks reject anything but the default
+        ``"mdst"``.
     family, n, seed:
         The workload instance: graph family name (see
         :data:`repro.graphs.generators.GRAPH_FAMILIES`), target node count
@@ -79,6 +87,7 @@ class RunSpec:
     """
 
     task: str = "protocol"
+    protocol: str = "mdst"
     family: str = "erdos_renyi_sparse"
     n: int = 16
     seed: int = 0
@@ -130,7 +139,9 @@ class RunSpec:
 
     @property
     def label(self) -> str:
-        return f"{self.task}:{self.family}-n{self.n}-s{self.seed}-{self.scheduler}-{self.initial}"
+        protocol = "" if self.protocol == "mdst" else f"{self.protocol}:"
+        return (f"{self.task}:{protocol}{self.family}-n{self.n}-s{self.seed}"
+                f"-{self.scheduler}-{self.initial}")
 
     def param(self, key: str, default: object = None) -> object:
         """Read a task-specific parameter from :attr:`params`."""
@@ -163,11 +174,36 @@ class RunSpec:
             node_weights={int(v): int(w) for v, w in weights} if weights else None,
         )
 
+    def protocol_run_config(self) -> ProtocolRunConfig:
+        """The generic :class:`~repro.protocols.base.ProtocolRunConfig` of
+        this spec, dispatching on :attr:`protocol`.
+
+        The common fields are built once for every protocol; only the
+        MDST-specific ``options`` fork on the protocol name (for
+        ``"mdst"`` the result is equivalent to
+        ``self.mdst_config().protocol_run_config()``, so specs keep
+        driving the identical code path they always did).
+        """
+        weights = self.param("node_weights")
+        config = ProtocolRunConfig(
+            protocol=self.protocol,
+            scheduler=self.scheduler,
+            seed=self.seed,
+            initial=self.initial,
+            max_rounds=self.max_rounds,
+            stability_window=self.stability_window,
+            node_weights={int(v): int(w) for v, w in weights} if weights else None,
+        )
+        if self.protocol == "mdst":
+            config.options["enable_reduction"] = self.enable_reduction
+        return config
+
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "task": self.task,
+            "protocol": self.protocol,
             "family": self.family,
             "n": self.n,
             "seed": self.seed,
@@ -212,13 +248,23 @@ def spec_key(spec: RunSpec) -> str:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A matrix of runs: ``family x size x repetition x scheduler x initial``.
+    """A matrix of runs:
+    ``family x size x repetition x scheduler x initial x protocol``.
 
     Seeds: if :attr:`seeds` is given, repetition ``r`` uses
     ``seeds[r % len(seeds)]`` (mirroring
     :meth:`repro.experiments.config.ExperimentProfile.seed_for`); otherwise
     the seed of repetition ``r`` is ``derive_seed(master_seed, r)``, an
     independent 31-bit stream from :mod:`repro.sim.rng`.
+
+    ``protocols`` multiplies the matrix across registry entries (see
+    :data:`repro.protocols.PROTOCOLS`); the default single-``"mdst"`` axis
+    expands to exactly the specs (and order) it always did.
+
+    ``fault_round``/``fault_fraction`` and the ``churn_*`` knobs are
+    forwarded verbatim to every expanded :class:`RunSpec`, so one sweep can
+    put every protocol through the same transient-fault or topology-churn
+    scenario.
     """
 
     families: Tuple[str, ...] = ("erdos_renyi_sparse",)
@@ -230,6 +276,12 @@ class SweepSpec:
     initials: Tuple[str, ...] = ("isolated",)
     max_rounds: int = 5000
     task: str = "protocol"
+    protocols: Tuple[str, ...] = ("mdst",)
+    fault_round: Optional[int] = None
+    fault_fraction: float = 0.5
+    churn_rate: float = 0.0
+    churn_start: int = 50
+    churn_events: int = 0
 
     def seed_for(self, repetition: int) -> int:
         if self.seeds:
@@ -239,15 +291,17 @@ class SweepSpec:
     def expand(self) -> List[RunSpec]:
         """The ordered list of runs in the matrix.
 
-        The order (repetition, family, size, scheduler, initial) is part of
-        the engine's contract: results are always returned in expansion
-        order regardless of worker count, which is what makes ``--workers N``
-        output byte-identical to the serial run.
+        The order (repetition, family, size, scheduler, initial, protocol)
+        is part of the engine's contract: results are always returned in
+        expansion order regardless of worker count, which is what makes
+        ``--workers N`` output byte-identical to the serial run.
         """
         if self.repetitions < 1:
             raise ConfigurationError("repetitions must be >= 1")
         if not self.families or not self.sizes:
             raise ConfigurationError("sweep needs at least one family and one size")
+        if not self.protocols:
+            raise ConfigurationError("sweep needs at least one protocol")
         specs: List[RunSpec] = []
         for rep in range(self.repetitions):
             seed = self.seed_for(rep)
@@ -255,13 +309,20 @@ class SweepSpec:
                 for n in self.sizes:
                     for scheduler in self.schedulers:
                         for initial in self.initials:
-                            specs.append(RunSpec(
-                                task=self.task,
-                                family=family,
-                                n=n,
-                                seed=seed,
-                                scheduler=scheduler,
-                                initial=initial,
-                                max_rounds=self.max_rounds,
-                            ))
+                            for protocol in self.protocols:
+                                specs.append(RunSpec(
+                                    task=self.task,
+                                    protocol=protocol,
+                                    family=family,
+                                    n=n,
+                                    seed=seed,
+                                    scheduler=scheduler,
+                                    initial=initial,
+                                    max_rounds=self.max_rounds,
+                                    fault_round=self.fault_round,
+                                    fault_fraction=self.fault_fraction,
+                                    churn_rate=self.churn_rate,
+                                    churn_start=self.churn_start,
+                                    churn_events=self.churn_events,
+                                ))
         return specs

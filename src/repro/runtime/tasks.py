@@ -10,8 +10,9 @@ plain JSON-serializable dict ready to be appended to an
 The registry covers every kind of measurement the E1-E8 experiments need:
 
 =============  ==============================================================
-``protocol``   one :func:`~repro.core.protocol.run_mdst` execution
-               (E2, E4, E5 and the generic ``repro run`` / ``repro sweep``)
+``protocol``   one :func:`~repro.protocols.runner.run_protocol` execution of
+               the spec's registered protocol (E2, E4, E5 and the generic
+               ``repro run`` / ``repro sweep``)
 ``reference``  the centralized reference engine (sanity sweeps)
 ``memory``     per-node state accounting without running the protocol (E3)
 ``quality``    exact/certified optimum + reference + FR + optional protocol
@@ -20,18 +21,22 @@ The registry covers every kind of measurement the E1-E8 experiments need:
 ``hub``        serialized-vs-concurrent reduction model + protocol (E7)
 ``improvement`` single-improvement micro-benchmark on a hard-hub graph (E8)
 ``throughput`` timed protocol execution reporting rounds/sec (the large-n
-               scaling benchmark; never cached by the engine)
+               scaling and cross-protocol benchmarks; never cached)
 ``churn``      timed protocol execution under a live topology churn plan
                (node/edge joins and leaves through the network mutation
                APIs); reports recovery and throughput, never cached
 =============  ==============================================================
 
-Protocol-style tasks execute on the activity-aware simulation kernel via
-:func:`~repro.core.protocol.run_mdst`; the spec's ``scheduler`` field names
-any kernel scheduling policy (``synchronous``/``random``/``adversarial``/
-``weighted``), with per-node weights for the weighted-fair policy supplied
-through the ``node_weights`` task parameter (see
-:meth:`~repro.runtime.spec.RunSpec.mdst_config`).
+The protocol-style tasks (``protocol``/``throughput``/``churn``) dispatch
+on :attr:`~repro.runtime.spec.RunSpec.protocol` through the
+:data:`repro.protocols.PROTOCOLS` registry and execute on the
+activity-aware simulation kernel via
+:func:`~repro.protocols.runner.run_protocol`; the spec's ``scheduler``
+field names any kernel scheduling policy (``synchronous``/``random``/
+``adversarial``/``weighted``), with per-node weights for the weighted-fair
+policy supplied through the ``node_weights`` task parameter.  The
+MDST-specific composite tasks (``quality``/``hub``/``improvement``/
+``memory``/``reference``) reject specs naming any other protocol.
 """
 
 from __future__ import annotations
@@ -48,12 +53,14 @@ from ..baselines.exact import exact_mdst_degree
 from ..baselines.fuerer_raghavachari import fuerer_raghavachari
 from ..baselines.local_search import greedy_local_search
 from ..baselines.simple_trees import evaluate_simple_trees
-from ..core.protocol import MDSTResult, build_mdst_network, run_mdst
+from ..core.protocol import build_mdst_network, run_mdst
 from ..core.reference import ReferenceMDST
 from ..exceptions import ConfigurationError
 from ..graphs.generators import hard_hub_graph
 from ..graphs.properties import is_hamiltonian_path_certificate, mdst_lower_bound
 from ..graphs.spanning import bfs_spanning_tree, tree_degree
+from ..protocols.registry import churn_capable_names, get_protocol
+from ..protocols.runner import run_protocol
 from ..sim.faults import FaultPlan
 from .spec import RunSpec
 
@@ -105,7 +112,43 @@ def _fault_plan(spec: RunSpec) -> Optional[FaultPlan]:
                            node_fraction=spec.fault_fraction)
 
 
-def _record_for(spec: RunSpec, graph, result: MDSTResult) -> ConvergenceRecord:
+def _require_mdst(spec: RunSpec) -> None:
+    """Guard for the MDST-specific composite tasks.
+
+    ``quality``/``hub``/``improvement`` compare against Δ* oracles and
+    count MDST message types, and ``memory``/``reference`` account MDST
+    state -- none of that is meaningful for another registry entry, so a
+    spec naming one fails fast instead of silently mislabelling a row.
+    """
+    if spec.protocol != "mdst":
+        raise ConfigurationError(
+            f"task {spec.task!r} is MDST-specific; got protocol "
+            f"{spec.protocol!r} (use the protocol/throughput/churn tasks "
+            f"for other registry entries)")
+
+
+def _identify(spec: RunSpec, graph) -> Dict[str, object]:
+    """The leading identity columns shared by the protocol-style rows.
+
+    The ``protocol`` column appears only for non-default protocols: the
+    E1-E8 reproduction tables predate the registry and their rows are
+    verified byte-identical across refactors, so the default MDST rows
+    must keep their exact historical shape.
+    """
+    row: Dict[str, object] = {
+        "family": spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+        "scheduler": spec.scheduler,
+        "initial": spec.initial,
+    }
+    if spec.protocol != "mdst":
+        row["protocol"] = spec.protocol
+    return row
+
+
+def _record_for(spec: RunSpec, graph, result) -> ConvergenceRecord:
     return ConvergenceRecord(
         nodes=graph.number_of_nodes(),
         edges=graph.number_of_edges(),
@@ -141,18 +184,19 @@ def _known_optimal(graph, exact_limit: int = 12) -> Optional[int]:
 # ---------------------------------------------------------------------------
 
 def run_protocol_task(spec: RunSpec) -> RunOutcome:
-    """One full protocol execution; the workhorse of E2/E4/E5 and the CLI."""
+    """One full protocol execution; the workhorse of E2/E4/E5 and the CLI.
+
+    Dispatches on ``spec.protocol`` through the registry: any registered
+    protocol runs on the same kernel, with the same fault plans, and
+    reports the same row shape.
+    """
     graph = spec.build_graph()
-    result = run_mdst(graph, spec.mdst_config(), fault_plan=_fault_plan(spec))
+    result = run_protocol(graph, spec.protocol_run_config(),
+                          fault_plan=_fault_plan(spec))
     record = _record_for(spec, graph, result)
     convergence_round = result.run.extra.get("convergence_round")
-    row: Dict[str, object] = {
-        "family": spec.family,
-        "n": graph.number_of_nodes(),
-        "m": graph.number_of_edges(),
-        "seed": spec.seed,
-        "scheduler": spec.scheduler,
-        "initial": spec.initial,
+    row = _identify(spec, graph)
+    row.update({
         "converged": result.converged,
         "rounds": convergence_round or result.rounds,
         "total_rounds": result.rounds,
@@ -162,12 +206,13 @@ def run_protocol_task(spec: RunSpec) -> RunOutcome:
         "closure_violations": len(result.report.closure_violations),
         "max_message_bits": result.run.extra.get("max_message_bits", 0),
         "deliveries_by_type": result.run.extra.get("deliveries_by_type", {}),
-    }
+    })
     return RunOutcome(spec=spec, row=row, record=record)
 
 
 def run_reference_task(spec: RunSpec) -> RunOutcome:
     """Centralized reference engine on one instance (no message passing)."""
+    _require_mdst(spec)
     graph = spec.build_graph()
     initial = bfs_spanning_tree(graph)
     result = ReferenceMDST(graph, initial_tree=initial).run()
@@ -185,6 +230,7 @@ def run_reference_task(spec: RunSpec) -> RunOutcome:
 
 def run_memory_task(spec: RunSpec) -> RunOutcome:
     """Per-node state accounting vs the O(δ log n) envelope (E3)."""
+    _require_mdst(spec)
     graph = spec.build_graph()
     network = build_mdst_network(graph, spec.mdst_config())
     row = memory_report(network).as_dict()
@@ -199,6 +245,7 @@ def run_quality_task(spec: RunSpec) -> RunOutcome:
     Params: ``use_protocol`` (bool) and ``protocol_cap`` (max n for which the
     message-passing protocol is also run).
     """
+    _require_mdst(spec)
     graph = spec.build_graph()
     optimal = _known_optimal(graph)
     reference = ReferenceMDST(graph).run()
@@ -232,6 +279,7 @@ def run_quality_task(spec: RunSpec) -> RunOutcome:
 
 def run_baselines_task(spec: RunSpec) -> RunOutcome:
     """Naive spanning trees vs reference MDST vs local search (E6)."""
+    _require_mdst(spec)
     graph = spec.build_graph()
     naive = evaluate_simple_trees(graph, seed=spec.seed)
     reference = ReferenceMDST(graph).run()
@@ -252,6 +300,7 @@ def run_baselines_task(spec: RunSpec) -> RunOutcome:
 
 def run_hub_task(spec: RunSpec) -> RunOutcome:
     """Serialized vs concurrent multi-hub reduction plus the real protocol (E7)."""
+    _require_mdst(spec)
     graph = spec.build_graph()
     model = serialized_vs_concurrent_cost(graph)
     result = run_mdst(graph, spec.mdst_config())
@@ -279,6 +328,7 @@ def run_improvement_task(spec: RunSpec) -> RunOutcome:
     Params: ``hub_degree`` -- the fundamental-cycle length of the
     :func:`~repro.graphs.generators.hard_hub_graph` instance.
     """
+    _require_mdst(spec)
     length = int(spec.param("hub_degree", spec.n))
     graph = hard_hub_graph(length)
     initial = bfs_spanning_tree(graph, root=0)
@@ -305,32 +355,28 @@ def run_throughput_task(spec: RunSpec) -> RunOutcome:
 
     Drives one full protocol execution (same code path as ``protocol``) and
     times the simulation only -- graph construction is excluded.  Used by the
-    scaling benchmark (``benchmarks/test_bench_scaling.py``) to chart
-    rounds/sec across network sizes and graph families.  Convergence is
-    reported but *not* required: large instances run against a fixed round
-    budget.  The engine never caches these rows (see
+    scaling benchmark (``benchmarks/test_bench_scaling.py``) and the
+    cross-protocol benchmark (``benchmarks/test_bench_protocols.py``) to
+    chart rounds/sec across network sizes, graph families and protocols.
+    Convergence is reported but *not* required: large instances run against
+    a fixed round budget.  The engine never caches these rows (see
     :data:`UNCACHEABLE_TASKS`) -- a cached wall-clock measurement would
     masquerade as a fresh one.
     """
     graph = spec.build_graph()
-    config = spec.mdst_config()
+    config = spec.protocol_run_config()
     start = time.perf_counter()
-    result = run_mdst(graph, config, fault_plan=_fault_plan(spec))
+    result = run_protocol(graph, config, fault_plan=_fault_plan(spec))
     seconds = time.perf_counter() - start
-    row: Dict[str, object] = {
-        "family": spec.family,
-        "n": graph.number_of_nodes(),
-        "m": graph.number_of_edges(),
-        "seed": spec.seed,
-        "scheduler": spec.scheduler,
-        "initial": spec.initial,
+    row = _identify(spec, graph)
+    row.update({
         "max_rounds": spec.max_rounds,
         "rounds": result.rounds,
         "converged": result.converged,
         "tree_degree": result.tree_degree,
         "seconds": round(seconds, 4),
         "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
-    }
+    })
     return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
 
 
@@ -347,17 +393,26 @@ def run_churn_task(spec: RunSpec) -> RunOutcome:
     between the last applied churn event and the convergence round.  Rows
     carry wall-clock timing, so the engine never caches them (see
     :data:`UNCACHEABLE_TASKS`).
+
+    Dispatches on ``spec.protocol``; protocols whose adapter declares
+    ``supports_churn = False`` (the fixed-tree PIF aggregation) are
+    rejected before any work happens.
     """
+    adapter = get_protocol(spec.protocol)
+    if not adapter.supports_churn:
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support topology churn; "
+            f"churn-capable protocols: {', '.join(churn_capable_names())}")
     graph = spec.build_graph()
     plan = spec.build_churn_plan(graph)
-    config = spec.mdst_config()
+    config = spec.protocol_run_config()
     if plan is not None:
         # Joins may grow the network past the input size: keep the distance
         # bound legal for every topology the plan can produce.
         config.n_upper = graph.number_of_nodes() + spec.churn_events + 1
     start = time.perf_counter()
-    result = run_mdst(graph, config, fault_plan=_fault_plan(spec),
-                      churn_plan=plan)
+    result = run_protocol(graph, config, fault_plan=_fault_plan(spec),
+                          churn_plan=plan)
     seconds = time.perf_counter() - start
     extra = result.run.extra
     convergence_round = extra.get("convergence_round")
@@ -365,13 +420,8 @@ def run_churn_task(spec: RunSpec) -> RunOutcome:
     recovery: Optional[int] = None
     if result.converged and convergence_round is not None and churn_rounds:
         recovery = convergence_round - max(churn_rounds)
-    row: Dict[str, object] = {
-        "family": spec.family,
-        "n": graph.number_of_nodes(),
-        "m": graph.number_of_edges(),
-        "seed": spec.seed,
-        "scheduler": spec.scheduler,
-        "initial": spec.initial,
+    row = _identify(spec, graph)
+    row.update({
         "churn_rate": spec.churn_rate,
         "churn_events": spec.churn_events,
         "churn_applied": extra.get("churn_applied", 0),
@@ -388,7 +438,7 @@ def run_churn_task(spec: RunSpec) -> RunOutcome:
         "tree_degree": result.tree_degree,
         "seconds": round(seconds, 4),
         "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
-    }
+    })
     return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
 
 

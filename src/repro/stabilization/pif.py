@@ -82,10 +82,13 @@ class MaxDegreeProcess(Process):
     def __init__(self, node_id: NodeId, neighbors: Sequence[NodeId],
                  parent_map: Mapping[NodeId, NodeId]):
         super().__init__(node_id, neighbors)
-        self.parent: NodeId = parent_map[node_id]
+        # A node the fixed tree does not know (a late joiner under live
+        # churn) starts self-parented: the root of its own one-node
+        # fragment, invisible to the aggregation until gossip says more.
+        self.parent: NodeId = parent_map.get(node_id, node_id)
         self.tree_neighbors = tuple(
             u for u in self.neighbors
-            if parent_map[node_id] == u or parent_map.get(u) == node_id)
+            if self.parent == u or parent_map.get(u) == node_id)
         self.degree: int = len(self.tree_neighbors)
         self.sub_max: int = self.degree
         self.dmax: int = self.degree
@@ -111,6 +114,42 @@ class MaxDegreeProcess(Process):
         self.view_sub_max[sender] = message.sub_max
         self.view_dmax[sender] = message.dmax
         self._recompute()
+
+    # -- dynamic topology (live neighbour-set deltas) --------------------------
+
+    def add_neighbor(self, u: NodeId) -> None:
+        """A link to ``u`` appeared at runtime.
+
+        The newcomer is a non-tree neighbour until its gossip claims
+        otherwise (``view_parent[u] = u``), so the aggregation ignores it
+        until real ``DegreeInfo`` arrives.
+        """
+        super().add_neighbor(u)
+        self.view_parent[u] = u
+        self.view_sub_max[u] = 0
+        self.view_dmax[u] = 0
+        self._recompute()
+
+    def remove_neighbor(self, u: NodeId) -> None:
+        """The link to ``u`` died at runtime.
+
+        Evicts the cached aggregation views so a dead subtree can never
+        again inflate ``sub_max``; a lost tree edge shrinks the local tree
+        degree, and losing the parent makes this node the root of its
+        surviving fragment.
+        """
+        super().remove_neighbor(u)
+        self.view_parent.pop(u, None)
+        self.view_sub_max.pop(u, None)
+        self.view_dmax.pop(u, None)
+        if u in self.tree_neighbors:
+            self.tree_neighbors = tuple(x for x in self.tree_neighbors if x != u)
+            self.degree = len(self.tree_neighbors)
+        if self.parent == u:
+            self.parent = self.node_id
+        self._recompute()
+
+    # -- self-stabilization support --------------------------------------------
 
     def corrupt(self, rng: np.random.Generator) -> None:
         """Randomise the aggregation state (the tree itself stays fixed)."""

@@ -208,6 +208,34 @@ class SpanningTreeProcess(Process):
         view.heard = True
         self.apply_rules()
 
+    # -- dynamic topology (live neighbour-set deltas) ------------------------------
+
+    def add_neighbor(self, u: NodeId) -> None:
+        """A link to ``u`` appeared at runtime.
+
+        The new neighbour starts as an unheard view (its defaults are never
+        consulted before its first gossip message arrives); rules R1-R3
+        pick the edge up through the normal correction machinery.
+        """
+        super().add_neighbor(u)
+        self.view[u] = NeighborView(root=u, parent=u, distance=0)
+        self.apply_rules()
+
+    def remove_neighbor(self, u: NodeId) -> None:
+        """The link to ``u`` died at runtime.
+
+        Evicts the stale cached :class:`NeighborView` so ``u`` can never
+        again win rule R1 or anchor a distance; if ``u`` was our parent the
+        tree edge is gone, so we reset to our own root (rule R2's premise
+        made explicit) and let R1 re-attach us through gossip.
+        """
+        super().remove_neighbor(u)
+        lost_parent = self.vars.parent == u
+        self.view.pop(u, None)
+        if lost_parent:
+            self._create_new_root()
+        self.apply_rules()
+
     # -- self-stabilization support ----------------------------------------------
 
     def corrupt(self, rng: np.random.Generator) -> None:

@@ -27,7 +27,8 @@ SWEEP_ARGS = ["sweep", "--families", "wheel", "--sizes", "8",
 def test_parser_has_all_subcommands():
     parser = build_parser()
     actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
-    assert set(actions[0].choices) == {"run", "sweep", "bench", "report"}
+    assert set(actions[0].choices) == {"run", "sweep", "bench", "report",
+                                       "protocols"}
 
 
 def test_run_prints_result_table(capsys):
@@ -97,6 +98,126 @@ def test_run_rejects_churn_flags_without_churn_task(capsys):
     assert main(["run", "--family", "wheel", "--n", "8",
                  "--churn-rate", "0.1", "--churn-events", "3"]) == 1
     assert "--task churn" in capsys.readouterr().err
+
+
+def test_protocols_subcommand_lists_registry(capsys):
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mdst", "spanning_tree", "pif_max_degree"):
+        assert name in out
+    assert "churn" in out and "initial policies" in out
+
+
+def test_protocols_subcommand_json(capsys):
+    assert main(["protocols", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    names = {row["protocol"] for row in rows}
+    assert {"mdst", "spanning_tree", "pif_max_degree"} <= names
+    by_name = {row["protocol"]: row for row in rows}
+    assert by_name["mdst"]["churn"] == "yes"
+    assert by_name["pif_max_degree"]["churn"] == "no"
+
+
+def test_run_unknown_protocol_lists_registered_names(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8",
+                 "--protocol", "bogus"]) == 1
+    err = capsys.readouterr().err
+    assert "bogus" in err
+    assert "registered protocols" in err
+    assert "mdst" in err and "spanning_tree" in err and "pif_max_degree" in err
+
+
+def test_sweep_unknown_protocol_fails_before_any_run(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--protocols", "mdst,phantom"]) == 1
+    captured = capsys.readouterr()
+    assert "phantom" in captured.err
+    assert "registered protocols" in captured.err
+    # validation fires before the engine: no "sweep: N runs" banner
+    assert "sweep:" not in captured.err
+
+
+def test_run_spanning_tree_protocol_via_cli(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8", "--seed", "3",
+                 "--protocol", "spanning_tree", "--max-rounds", "500",
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["spec"]["protocol"] == "spanning_tree"
+    assert data["row"]["protocol"] == "spanning_tree"
+    assert data["row"]["converged"] is True
+
+
+def test_sweep_cross_protocol_runs_every_registry_entry(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--max-rounds", "2000",
+                 "--protocols", "mdst,spanning_tree,pif_max_degree"]) == 0
+    out = capsys.readouterr().out
+    # the display backfills the default protocol's column
+    assert "mdst" in out and "spanning_tree" in out and "pif_max_degree" in out
+
+
+def test_sweep_churn_task_rejects_non_churn_protocol(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--task", "churn", "--churn-rate", "0.1",
+                 "--churn-events", "2",
+                 "--protocols", "pif_max_degree"]) == 1
+    err = capsys.readouterr().err
+    assert "pif_max_degree" in err and "churn-capable" in err
+
+
+def test_sweep_rejects_churn_flags_without_churn_task(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--churn-rate", "0.1", "--churn-events", "2"]) == 1
+    assert "--task churn" in capsys.readouterr().err
+
+
+def test_sweep_fault_round_flows_into_every_run(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--max-rounds", "2000", "--fault-round", "30",
+                 "--protocols", "mdst,spanning_tree", "--csv"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3  # header + one row per protocol
+    assert lines[0].startswith("family,")
+
+
+def test_run_rejects_fault_flags_on_non_fault_task(capsys):
+    """--fault-round on a task that never injects faults must error, not
+    silently print a clean-run row as a fault measurement."""
+    assert main(["run", "--family", "wheel", "--n", "8",
+                 "--task", "quality", "--fault-round", "30"]) == 1
+    assert "--fault-round" in capsys.readouterr().err
+
+
+def test_sweep_rejects_fault_flags_on_non_fault_task(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--task", "reference", "--fault-round", "30"]) == 1
+    assert "--fault-round" in capsys.readouterr().err
+
+
+def test_cross_protocol_saved_report_keeps_rows_attributable(tmp_path, capsys):
+    """The saved JSON of a cross-protocol sweep backfills the protocol key
+    on default-protocol rows, so `repro report --group-by protocol` works."""
+    out = tmp_path / "cross.json"
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--max-rounds", "2000",
+                 "--protocols", "mdst,spanning_tree",
+                 "--output", str(out)]) == 0
+    rows = json.loads(out.read_text())["rows"]
+    assert [row["protocol"] for row in rows] == ["mdst", "spanning_tree"]
+    capsys.readouterr()
+    assert main(["report", str(out), "--group-by", "protocol",
+                 "--value", "rounds"]) == 0
+    rendered = capsys.readouterr().out
+    assert "mdst" in rendered and "spanning_tree" in rendered
+
+
+def test_single_protocol_saved_report_keeps_historical_shape(tmp_path):
+    """Default MDST sweeps must keep their exact historical row shape."""
+    out = tmp_path / "plain.json"
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--max-rounds", "2000", "--output", str(out)]) == 0
+    rows = json.loads(out.read_text())["rows"]
+    assert all("protocol" not in row for row in rows)
 
 
 def test_sweep_csv_output(capsys):

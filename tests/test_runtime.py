@@ -139,6 +139,100 @@ class TestTasks:
         assert faulty_row["converged"] is True
 
 
+class TestProtocolSpecs:
+    """The protocol axis of the registry refactor (PR 5)."""
+
+    def test_protocol_field_round_trips(self):
+        spec = RunSpec(task="protocol", protocol="spanning_tree",
+                       family="wheel", n=8, seed=3)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_legacy_spec_dicts_default_to_mdst(self):
+        """Pre-registry spec dicts (no 'protocol' key) still load."""
+        legacy = RunSpec(family="wheel", n=8, seed=3).to_dict()
+        del legacy["protocol"]
+        assert RunSpec.from_dict(legacy).protocol == "mdst"
+
+    def test_protocol_changes_the_cache_key(self):
+        base = RunSpec(family="wheel", n=8, seed=3)
+        other = dataclasses.replace(base, protocol="spanning_tree")
+        assert spec_key(base) != spec_key(other)
+
+    def test_label_tags_non_default_protocols_only(self):
+        assert "spanning_tree" in RunSpec(protocol="spanning_tree").label
+        assert "mdst" not in RunSpec().label
+
+    @pytest.mark.parametrize("protocol", ["spanning_tree", "pif_max_degree"])
+    def test_protocol_task_dispatches_on_registry(self, protocol):
+        outcome = execute_spec(RunSpec(protocol=protocol, family="wheel",
+                                       n=8, seed=3, **FAST))
+        assert outcome.row["protocol"] == protocol
+        assert outcome.row["converged"] is True
+        assert outcome.record is not None
+
+    def test_default_mdst_rows_keep_their_historical_shape(self):
+        """Byte-identity contract: no 'protocol' column on default rows."""
+        outcome = execute_spec(RunSpec(family="wheel", n=8, seed=3, **FAST))
+        assert "protocol" not in outcome.row
+
+    def test_throughput_task_dispatches_on_registry(self):
+        outcome = execute_spec(RunSpec(task="throughput",
+                                       protocol="spanning_tree",
+                                       family="wheel", n=8, seed=3, **FAST))
+        assert outcome.row["protocol"] == "spanning_tree"
+        assert outcome.row["rounds_per_sec"] > 0
+
+    @pytest.mark.parametrize("task", ["quality", "hub", "improvement",
+                                      "memory", "reference", "baselines"])
+    def test_mdst_only_tasks_reject_other_protocols(self, task):
+        spec = RunSpec(task=task, protocol="spanning_tree", family="wheel",
+                       n=8, seed=3)
+        with pytest.raises(ConfigurationError, match="MDST-specific"):
+            execute_spec(spec)
+
+    def test_churn_task_rejects_non_churn_protocol(self):
+        spec = RunSpec(task="churn", protocol="pif_max_degree",
+                       family="wheel", n=8, seed=3,
+                       churn_rate=0.1, churn_events=2)
+        with pytest.raises(ConfigurationError, match="churn"):
+            execute_spec(spec)
+
+    def test_churn_task_runs_spanning_tree(self):
+        spec = RunSpec(task="churn", protocol="spanning_tree",
+                       family="erdos_renyi_sparse", n=12, seed=5,
+                       churn_rate=0.1, churn_start=20, churn_events=3,
+                       max_rounds=2000)
+        row = execute_spec(spec).row
+        assert row["protocol"] == "spanning_tree"
+        assert row["converged"] is True
+        assert row["churn_applied"] + row["churn_skipped"] == 3
+
+    def test_sweep_expands_the_protocol_axis(self):
+        sweep = tiny_sweep(protocols=("mdst", "spanning_tree"))
+        specs = sweep.expand()
+        assert len(specs) == 2 * 2 * 2
+        assert [s.protocol for s in specs[:2]] == ["mdst", "spanning_tree"]
+        # single-protocol default expands exactly as before
+        assert all(s.protocol == "mdst" for s in tiny_sweep().expand())
+
+    def test_sweep_forwards_fault_and_churn_knobs(self):
+        sweep = tiny_sweep(task="churn", protocols=("spanning_tree",),
+                           fault_round=15, churn_rate=0.1, churn_events=2)
+        spec = sweep.expand()[0]
+        assert spec.fault_round == 15
+        assert spec.churn_rate == 0.1 and spec.churn_events == 2
+
+    def test_cross_protocol_sweep_executes_deterministically(self):
+        sweep = tiny_sweep(families=("wheel",), repetitions=1,
+                           protocols=("mdst", "spanning_tree",
+                                      "pif_max_degree"))
+        a = SweepEngine(workers=1).report(sweep.expand()).rows
+        b = SweepEngine(workers=1).report(sweep.expand()).rows
+        assert a == b
+        assert [row.get("protocol", "mdst") for row in a] == \
+            ["mdst", "spanning_tree", "pif_max_degree"]
+
+
 class TestChurnSpecs:
     def test_churn_fields_round_trip(self):
         spec = RunSpec(task="churn", family="erdos_renyi_sparse", n=12,

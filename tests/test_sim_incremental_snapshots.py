@@ -24,6 +24,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.core.messages import MInfo
 from repro.core.protocol import MDSTConfig, build_mdst_network
 from repro.graphs import make_graph
+from repro.protocols import PROTOCOLS, ProtocolRunConfig
 from repro.sim import Network, SynchronousScheduler
 from repro.sim.faults import corrupt_channels, corrupt_states
 from repro.sim.scheduler import RoundStats
@@ -32,6 +33,20 @@ SETTINGS = settings(max_examples=25, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow])
 
 FAMILIES = ("wheel", "cycle", "erdos_renyi_sparse", "two_hub")
+
+#: Every registry entry runs through the equivalence property: the kernel's
+#: incremental snapshot plumbing is protocol-agnostic and must stay correct
+#: for any process type, not just the MDST node.
+PROTOCOL_NAMES = ("mdst", "spanning_tree", "pif_max_degree")
+
+#: Per-protocol targeted out-of-band state write (op code 6): each pokes a
+#: snapshot-visible variable directly, bypassing the message layer, the way
+#: a fault-injection hook would.
+POKES = {
+    "mdst": lambda proc, b, n: setattr(proc.s, "root", b % (n + 2)),
+    "spanning_tree": lambda proc, b, n: setattr(proc.vars, "root", b % (n + 2)),
+    "pif_max_degree": lambda proc, b, n: setattr(proc, "sub_max", b % (n + 2)),
+}
 
 
 def scratch_snapshots(net: Network) -> dict:
@@ -45,12 +60,17 @@ def scratch_key(net: Network) -> tuple:
                  for v, snap in scratch_snapshots(net).items())
 
 
-def build_net(family: str, n: int, seed: int) -> Network:
+def build_net(family: str, n: int, seed: int, protocol: str = "mdst") -> Network:
     graph = make_graph(family, n, seed=seed)
-    return build_mdst_network(graph, MDSTConfig(seed=seed))
+    if protocol == "mdst":
+        return build_mdst_network(graph, MDSTConfig(seed=seed))
+    adapter = PROTOCOLS[protocol]
+    return adapter.build_network(graph, ProtocolRunConfig(protocol=protocol,
+                                                          seed=seed))
 
 
-def apply_op(net: Network, sched: SynchronousScheduler, op: tuple, index: int) -> None:
+def apply_op(net: Network, sched: SynchronousScheduler, op: tuple, index: int,
+             protocol: str = "mdst") -> None:
     """Apply one mutation/read operation; deterministic given (op, index).
 
     Topology operations (codes 10-13) stay connectivity-preserving so the
@@ -76,7 +96,7 @@ def apply_op(net: Network, sched: SynchronousScheduler, op: tuple, index: int) -
     elif code == 5:                                 # enable/disable toggle
         net.set_node_enabled(v, not net.node_enabled(v))
     elif code == 6:                                 # targeted out-of-band write
-        net.processes[v].s.root = b % (n + 2)
+        POKES[protocol](net.processes[v], b, n)
         net.note_state_write(v)
     elif code == 7:                                 # blanket out-of-band notification
         net.note_state_write()
@@ -114,31 +134,33 @@ ops_strategy = st.lists(
 
 class TestIncrementalEquivalence:
     @SETTINGS
-    @given(family=st.sampled_from(FAMILIES), n=st.integers(5, 9),
+    @given(protocol=st.sampled_from(PROTOCOL_NAMES),
+           family=st.sampled_from(FAMILIES), n=st.integers(5, 9),
            seed=st.integers(0, 5), ops=ops_strategy)
-    def test_matches_scratch_recomputation(self, family, n, seed, ops):
-        net = build_net(family, n, seed)
+    def test_matches_scratch_recomputation(self, protocol, family, n, seed, ops):
+        net = build_net(family, n, seed, protocol)
         sched = SynchronousScheduler()
         for index, op in enumerate(ops):
-            apply_op(net, sched, op, index)
+            apply_op(net, sched, op, index, protocol)
             assert dict(net.snapshots()) == scratch_snapshots(net)
             assert net.snapshot_key() == scratch_key(net)
 
     @SETTINGS
-    @given(family=st.sampled_from(FAMILIES), n=st.integers(5, 9),
+    @given(protocol=st.sampled_from(PROTOCOL_NAMES),
+           family=st.sampled_from(FAMILIES), n=st.integers(5, 9),
            seed=st.integers(0, 5), ops=ops_strategy)
-    def test_matches_fresh_identical_network(self, family, n, seed, ops):
+    def test_matches_fresh_identical_network(self, protocol, family, n, seed, ops):
         """Replaying the ops on a fresh identical network yields the same
         snapshots and fingerprint, regardless of when each network's caches
         were (re)built."""
-        net_a = build_net(family, n, seed)
-        net_b = build_net(family, n, seed)
+        net_a = build_net(family, n, seed, protocol)
+        net_b = build_net(family, n, seed, protocol)
         sched_a = SynchronousScheduler()
         sched_b = SynchronousScheduler()
         for index, op in enumerate(ops):
-            apply_op(net_a, sched_a, op, index)
+            apply_op(net_a, sched_a, op, index, protocol)
         for index, op in enumerate(ops):
-            apply_op(net_b, sched_b, op, index)
+            apply_op(net_b, sched_b, op, index, protocol)
             net_b.snapshot_key()        # rebuild B's caches at every step
         assert dict(net_a.snapshots()) == dict(net_b.snapshots())
         assert net_a.snapshot_key() == net_b.snapshot_key()
