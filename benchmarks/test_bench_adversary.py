@@ -1,0 +1,220 @@
+"""Adversary benchmark: recovery and survival under channel/node adversaries.
+
+Self-stabilization promises recovery from *any* transient disruption, not
+just the worst-case initial configuration the experiments start from.  This
+suite drives every registered protocol through the runtime engine
+(``adversary`` task) against the adversary roster -- message loss,
+duplication, reordering, crash-recover node faults and bounded Byzantine
+windows -- at two intensities each, and reports per protocol x model x
+intensity:
+
+* **survival verdict**: whether the run re-converged within the budget
+  (``recovered`` / ``not_recovered``).  Permanent faults are *expected* to
+  defeat protocols whose legitimacy predicate judges the whole
+  configuration; such combinations are listed in
+  ``EXPECTED_NOT_RECOVERED`` and anything else failing is a regression.
+* **recovery rounds**: the gap between the last scheduled adversary event
+  and the convergence round (``None`` for continuous channel noise, which
+  schedules no events).
+* **throughput**: simulated rounds per wall-clock second (the channel-model
+  hook sits on the send hot path, so a regression here means the
+  reliable-FIFO fast path got slower).
+
+Two modes, mirroring ``test_bench_churn.py``:
+
+* smoke (default) -- every protocol against low-intensity loss; what plain
+  ``pytest`` and the CI smoke job run.  If the committed
+  ``BENCH_adversary.json`` carries a matching smoke record, the test fails
+  when the current machine is more than ``SMOKE_GUARD_FACTOR`` x slower.
+  Survival is asserted unconditionally.
+* record (``REPRO_BENCH_RECORD=1``) -- the full protocol x model x
+  intensity matrix; writes ``BENCH_adversary.json`` (including a fresh
+  smoke record for the guard).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.runtime.engine import SweepEngine
+from repro.runtime.spec import RunSpec
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_adversary.json"
+
+PROTOCOLS: Tuple[str, ...] = ("mdst", "spanning_tree", "pif_max_degree")
+FAMILY = "erdos_renyi_sparse"
+N = 16
+SEED = 11
+MAX_ROUNDS = 3000
+
+#: model name -> intensity -> RunSpec field overrides.
+MODELS: Dict[str, Dict[str, Dict[str, object]]] = {
+    "loss": {"low": {"loss_rate": 0.05}, "high": {"loss_rate": 0.15}},
+    "dup": {"low": {"dup_rate": 0.05}, "high": {"dup_rate": 0.15}},
+    "reorder": {"low": {"reorder_rate": 0.1}, "high": {"reorder_rate": 0.3}},
+    "crash_recover": {
+        "low": {"crash_count": 1, "crash_round": 10, "crash_recover": 5},
+        "high": {"crash_count": 2, "crash_round": 10, "crash_recover": 5},
+    },
+    "crash_stop": {
+        "low": {"crash_count": 1, "crash_round": 10},
+        "high": {"crash_count": 2, "crash_round": 10},
+    },
+    "byzantine": {
+        "low": {"byzantine_count": 1, "byzantine_start": 5,
+                "byzantine_rounds": 5},
+        "high": {"byzantine_count": 2, "byzantine_start": 5,
+                 "byzantine_rounds": 10},
+    },
+}
+
+#: ``(protocol, model)`` combinations that by design never re-converge at
+#: any intensity: crash-stop is a *permanent* fault, and the MDST
+#: legitimacy predicate can never accept the victim's frozen state (see
+#: tests/test_adversary_survival.py).  Every other non-recovery is a
+#: regression and fails record mode.
+EXPECTED_NOT_RECOVERED = {("mdst", "crash_stop")}
+
+#: Smoke workload: every protocol against low-intensity loss.
+SMOKE_MODEL = "loss"
+SMOKE_INTENSITY = "low"
+SMOKE_MAX_ROUNDS = 2000
+
+SMOKE_GUARD_FACTOR = 5.0
+
+
+def _workload_fingerprint(protocols: Tuple[str, ...],
+                          matrix: Dict[str, Tuple[str, ...]],
+                          max_rounds: int) -> Dict[str, object]:
+    return {
+        "task": "adversary",
+        "protocols": list(protocols),
+        "models": {name: list(levels) for name, levels in matrix.items()},
+        "family": FAMILY,
+        "n": N,
+        "seed": SEED,
+        "max_rounds": max_rounds,
+        "scheduler": "synchronous",
+        "initial": "isolated",
+    }
+
+
+def _specs(protocols: Tuple[str, ...], matrix: Dict[str, Tuple[str, ...]],
+           max_rounds: int) -> List[Tuple[str, str, str, RunSpec]]:
+    out = []
+    for protocol in protocols:
+        for model, levels in matrix.items():
+            for level in levels:
+                spec = RunSpec(task="adversary", protocol=protocol,
+                               family=FAMILY, n=N, seed=SEED,
+                               scheduler="synchronous", initial="isolated",
+                               max_rounds=max_rounds,
+                               **MODELS[model][level])
+                out.append((protocol, model, level, spec))
+    return out
+
+
+def _run(protocols: Tuple[str, ...], matrix: Dict[str, Tuple[str, ...]],
+         max_rounds: int) -> List[Dict[str, object]]:
+    labelled = _specs(protocols, matrix, max_rounds)
+    engine = SweepEngine(workers=1, cache=None)
+    rows = []
+    for (protocol, model, level, _), outcome in zip(
+            labelled, engine.execute([spec for *_, spec in labelled])):
+        row = dict(outcome.row)
+        row["protocol"] = protocol            # mdst rows omit the column
+        row["model"] = model
+        row["intensity"] = level
+        rows.append(row)
+    return rows
+
+
+def _aggregate(rows: List[Dict[str, object]]) -> float:
+    seconds = sum(float(row["seconds"]) for row in rows)
+    rounds = sum(int(row["rounds"]) for row in rows)
+    return round(rounds / seconds, 2) if seconds > 0 else 0.0
+
+
+def _verdict_matrix(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, str]]:
+    matrix: Dict[str, Dict[str, str]] = {}
+    for row in rows:
+        key = f"{row['model']}:{row['intensity']}"
+        matrix.setdefault(str(row["protocol"]), {})[key] = str(row["verdict"])
+    return matrix
+
+
+def _check_survival(rows: List[Dict[str, object]]) -> None:
+    for row in rows:
+        combo = (str(row["protocol"]), str(row["model"]))
+        if combo in EXPECTED_NOT_RECOVERED:
+            assert row["verdict"] == "not_recovered", (
+                f"{combo} at {row['intensity']} unexpectedly recovered; "
+                "update EXPECTED_NOT_RECOVERED")
+        else:
+            assert row["verdict"] == "recovered", (
+                f"{row['protocol']} did not survive {row['model']} at "
+                f"{row['intensity']} intensity ({row['rounds']} rounds)")
+
+
+def test_adversary_recovery_survival():
+    record = os.environ.get("REPRO_BENCH_RECORD", "") == "1"
+    smoke_matrix = {SMOKE_MODEL: (SMOKE_INTENSITY,)}
+
+    if not record:
+        rows = _run(PROTOCOLS, smoke_matrix, SMOKE_MAX_ROUNDS)
+        current = _aggregate(rows)
+        print()
+        print(f"adversary throughput (smoke): {current} rounds/sec over "
+              f"{len(rows)} instances ({SMOKE_MODEL}:{SMOKE_INTENSITY}, "
+              f"n={N})")
+        _check_survival(rows)
+        assert current > 0
+        guard = None
+        if OUTPUT_PATH.exists():
+            committed = json.loads(OUTPUT_PATH.read_text())
+            guard = committed.get("smoke_guard")
+        if guard and guard.get("workload") == _workload_fingerprint(
+                PROTOCOLS, smoke_matrix, SMOKE_MAX_ROUNDS):
+            floor = float(guard["rounds_per_sec"]) / SMOKE_GUARD_FACTOR
+            print(f"smoke guard: recorded {guard['rounds_per_sec']} "
+                  f"rounds/sec, floor {round(floor, 2)}")
+            assert current >= floor, (
+                f"adversary smoke throughput {current} rounds/sec is more "
+                f"than {SMOKE_GUARD_FACTOR}x below the committed record "
+                f"{guard['rounds_per_sec']} (see BENCH_adversary.json)")
+        else:
+            print("smoke guard: no matching committed record, guard skipped")
+        return
+
+    # -- record mode: full matrix + fresh smoke record ----------------------
+    full_matrix = {name: tuple(levels) for name, levels in MODELS.items()}
+    rows = _run(PROTOCOLS, full_matrix, MAX_ROUNDS)
+    _check_survival(rows)
+
+    smoke_rows = _run(PROTOCOLS, smoke_matrix, SMOKE_MAX_ROUNDS)
+    payload = {
+        "benchmark": "adversary_recovery_survival",
+        "mode": "record",
+        "workload": _workload_fingerprint(PROTOCOLS, full_matrix, MAX_ROUNDS),
+        "runs": rows,
+        "verdicts": _verdict_matrix(rows),
+        "expected_not_recovered": sorted(map(list, EXPECTED_NOT_RECOVERED)),
+        "rounds_per_sec": _aggregate(rows),
+        "smoke_guard": {
+            "workload": _workload_fingerprint(PROTOCOLS, smoke_matrix,
+                                              SMOKE_MAX_ROUNDS),
+            "rounds_per_sec": _aggregate(smoke_rows),
+            "guard_factor": SMOKE_GUARD_FACTOR,
+        },
+        "unix_time": int(time.time()),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"adversary throughput (record): {_aggregate(rows)} rounds/sec "
+          f"aggregate -> {OUTPUT_PATH.name}")
+    for protocol, verdicts in _verdict_matrix(rows).items():
+        print(f"  {protocol}: {verdicts}")

@@ -22,6 +22,7 @@ then multiplies across the new protocol for free; see
 from .base import ProtocolAdapter, ProtocolRunConfig, corrupt_configuration
 from .registry import (
     PROTOCOLS,
+    capable_names,
     churn_capable_names,
     get_protocol,
     protocol_names,
@@ -34,6 +35,7 @@ __all__ = [
     "ProtocolAdapter",
     "ProtocolResult",
     "ProtocolRunConfig",
+    "capable_names",
     "churn_capable_names",
     "corrupt_configuration",
     "get_protocol",

@@ -21,8 +21,11 @@ self-stabilizing protocol through that stack:
   ``(snapshot_key, topology_version)`` -- stays sound for every protocol,
 * a **per-run metrics extractor** (:meth:`~ProtocolAdapter.extract_metrics`),
 * **capability flags**: whether the protocol survives live topology churn
-  (``supports_churn``), transient fault injection (``supports_faults``) and
-  an explicit initial spanning tree (``supports_initial_tree``).
+  (``supports_churn``), transient fault injection (``supports_faults``),
+  an explicit initial spanning tree (``supports_initial_tree``), and the
+  adversary axis -- unreliable channels
+  (``supports_unreliable_channels``), crash/recover node faults
+  (``supports_crash``) and Byzantine gossip (``supports_byzantine``).
 
 Adapters are stateless singletons: one instance serves every run, so all
 per-run data must flow through the config, the network or the rng.
@@ -38,6 +41,7 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..sim.adversary import Adversary
 from ..sim.faults import corrupt_channels, corrupt_states
 from ..sim.network import Network
 from ..sim.simulator import SimulationReport
@@ -88,6 +92,11 @@ class ProtocolRunConfig:
         Explicit upper bound on the network size (the distance bound of
         spanning-tree-style protocols).  Defaults per adapter; runs that
         expect node *joins* must pass headroom here.
+    adversary:
+        Optional :class:`~repro.sim.adversary.Adversary` applied to the
+        run (unreliable channels, crash/recover node faults, Byzantine
+        gossip).  Gated per adapter by the ``supports_unreliable_channels``
+        / ``supports_crash`` / ``supports_byzantine`` capability flags.
     options:
         Adapter-specific extras (see each adapter's docstring).
     """
@@ -105,6 +114,7 @@ class ProtocolRunConfig:
     max_delay: int = 4
     node_weights: Optional[Dict[NodeId, int]] = None
     n_upper: Optional[int] = None
+    adversary: Optional[Adversary] = None
     options: Dict[str, object] = field(default_factory=dict)
 
     def validate(self) -> None:
@@ -160,6 +170,21 @@ class ProtocolAdapter(abc.ABC):
     #: Whether :func:`~repro.protocols.runner.run_protocol` accepts an
     #: explicit ``initial_tree`` for this protocol.
     supports_initial_tree: bool = False
+    #: Whether the protocol tolerates an unreliable channel model (message
+    #: loss, duplication, reordering).  Defaults ``True``: the periodic
+    #: gossip of self-stabilizing protocols re-sends state, so channel
+    #: noise degrades but does not wedge them.  Adapters whose correctness
+    #: depends on exact FIFO delivery should opt out.
+    supports_unreliable_channels: bool = True
+    #: Whether the protocol tolerates crash/recover node faults.  Recovery
+    #: re-randomises the node through its ``corrupt`` hook, so the default
+    #: is conservative (``False``) -- an adapter whose processes do not
+    #: implement ``corrupt`` cannot claim crash tolerance untested.
+    supports_crash: bool = False
+    #: Whether the protocol tolerates Byzantine gossip (selected processes
+    #: emitting corrupted state each round).  Conservative default for the
+    #: same reason as ``supports_crash``.
+    supports_byzantine: bool = False
 
     # -- abstract hooks --------------------------------------------------------
 

@@ -47,6 +47,10 @@ class MDSTProtocol(ProtocolAdapter):
     supports_churn = True
     supports_faults = True
     supports_initial_tree = True
+    # The MDST node implements ``corrupt`` and its gossip re-sends full
+    # state, so every adversary model is a tested axis.
+    supports_crash = True
+    supports_byzantine = True
 
     @staticmethod
     def _mdst_config(config: ProtocolRunConfig) -> MDSTConfig:

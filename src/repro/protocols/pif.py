@@ -52,6 +52,8 @@ class PIFMaxDegreeProtocol(ProtocolAdapter):
     initial_policies = ("isolated", "corrupted")
     supports_churn = False
     supports_faults = True
+    supports_crash = True
+    supports_byzantine = True
 
     #: Per-graph memo of ``(parent_map, expected_dmax)``: the fixed tree is
     #: a deterministic function of the (static -- no churn) graph, and one

@@ -21,6 +21,7 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..sim.adversary import Adversary
 from ..sim.faults import ChurnPlan, FaultPlan
 from ..sim.scheduler import make_scheduler
 from ..sim.simulator import SimulationReport, Simulator
@@ -75,7 +76,8 @@ def run_protocol(graph: nx.Graph,
                  adapter: Optional[ProtocolAdapter] = None,
                  initial_tree: Optional[Iterable[Edge]] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 churn_plan: Optional[ChurnPlan] = None) -> ProtocolResult:
+                 churn_plan: Optional[ChurnPlan] = None,
+                 adversary: Optional[Adversary] = None) -> ProtocolResult:
     """Run a registered self-stabilizing protocol on ``graph`` to convergence.
 
     Parameters
@@ -100,6 +102,12 @@ def run_protocol(graph: nx.Graph,
         *mutated* graph (the legitimacy predicate reads the live network),
         and runs expecting node joins should pass ``config.n_upper``
         headroom.
+    adversary:
+        Optional :class:`~repro.sim.adversary.Adversary` (falls back to
+        ``config.adversary``).  Each present model is gated by the
+        matching capability flag: an unreliable channel model requires
+        ``supports_unreliable_channels``, node faults ``supports_crash``,
+        Byzantine gossip ``supports_byzantine``.
 
     Returns
     -------
@@ -120,6 +128,20 @@ def run_protocol(graph: nx.Graph,
     if initial_tree is not None and not adapter.supports_initial_tree:
         raise ConfigurationError(
             f"protocol {adapter.name!r} does not accept an explicit initial tree")
+    if adversary is None:
+        adversary = config.adversary
+    if adversary is not None:
+        cm = adversary.channel_model
+        if (cm is not None and not cm.is_reliable
+                and not adapter.supports_unreliable_channels):
+            raise ConfigurationError(
+                f"protocol {adapter.name!r} does not support unreliable channels")
+        if adversary.node_faults is not None and not adapter.supports_crash:
+            raise ConfigurationError(
+                f"protocol {adapter.name!r} does not support crash/recover faults")
+        if adversary.byzantine is not None and not adapter.supports_byzantine:
+            raise ConfigurationError(
+                f"protocol {adapter.name!r} does not support Byzantine gossip")
     rng = np.random.default_rng(config.seed)
     network = adapter.build_network(graph, config)
     if initial_tree is not None:
@@ -136,7 +158,7 @@ def run_protocol(graph: nx.Graph,
     simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,
                           stability_window=config.stability_window,
                           fault_plan=fault_plan, churn_plan=churn_plan,
-                          trace=trace, rng=rng)
+                          adversary=adversary, trace=trace, rng=rng)
     report = simulator.run(
         max_rounds=config.max_rounds,
         extra_rounds_after_convergence=config.extra_rounds_after_convergence)
@@ -170,6 +192,16 @@ def run_protocol(graph: nx.Graph,
         extra["final_n"] = network.n
         extra["final_m"] = network.m
         final_graph = network.graph
+    if adversary is not None:
+        extra["adversary"] = adversary.describe()
+        extra["adversary_events"] = report.adversary_events
+        extra["adversary_rounds"] = list(report.adversary_rounds)
+        extra["adversary_dropped"] = report.adversary_dropped
+        extra["adversary_duplicated"] = report.adversary_duplicated
+        extra["adversary_reordered"] = report.adversary_reordered
+        extra["node_crashes"] = report.node_crashes
+        extra["node_recoveries"] = report.node_recoveries
+        extra["byzantine_corruptions"] = report.byzantine_corruptions
     run = RunResult(
         converged=report.converged,
         rounds=report.rounds,

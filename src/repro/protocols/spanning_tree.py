@@ -42,6 +42,8 @@ class SpanningTreeProtocol(ProtocolAdapter):
     initial_policies = ("isolated", "corrupted")
     supports_churn = True
     supports_faults = True
+    supports_crash = True
+    supports_byzantine = True
 
     def build_network(self, graph: nx.Graph, config: ProtocolRunConfig) -> Network:
         check_network(graph)

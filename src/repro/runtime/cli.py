@@ -37,7 +37,8 @@ from ..analysis.reporting import ExperimentReport
 from ..analysis.tables import format_table
 from ..exceptions import ReproError
 from ..graphs.generators import GRAPH_FAMILIES, family_names
-from ..protocols import PROTOCOLS, churn_capable_names, protocol_names
+from ..protocols import (PROTOCOLS, capable_names, churn_capable_names,
+                         protocol_names)
 from .cache import ResultCache
 from .engine import SweepEngine, default_workers
 from .spec import RunSpec, SweepSpec
@@ -104,6 +105,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     _check_churn_flags(args)
     _check_fault_flags(args)
     _check_churn_protocols(args, [args.protocol])
+    _check_adversary_flags(args)
+    _check_adversary_protocols(args, [args.protocol])
     spec = RunSpec(
         task=args.task,
         protocol=args.protocol,
@@ -118,6 +121,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         churn_rate=args.churn_rate,
         churn_start=args.churn_start,
         churn_events=args.churn_events,
+        loss_rate=args.loss,
+        dup_rate=args.dup,
+        reorder_rate=args.reorder,
+        crash_count=args.crash_count,
+        crash_round=args.crash_round,
+        crash_recover=args.crash_recover,
+        byzantine_count=args.byzantine_count,
+        byzantine_start=args.byzantine_start,
+        byzantine_rounds=args.byzantine_rounds,
     )
     outcome = execute_spec(spec)
     if args.json:
@@ -128,7 +140,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 #: Tasks that actually build a fault plan from the spec's fault knobs.
-FAULT_CAPABLE_TASKS = ("protocol", "throughput", "churn")
+FAULT_CAPABLE_TASKS = ("protocol", "throughput", "churn", "adversary")
+
+#: Tasks that actually build an adversary from the spec's adversary knobs.
+ADVERSARY_CAPABLE_TASKS = ("protocol", "throughput", "churn", "adversary")
 
 
 def _check_churn_flags(args: argparse.Namespace) -> None:
@@ -162,6 +177,62 @@ def _check_churn_protocols(args: argparse.Namespace,
             f"{', '.join(churn_capable_names())}")
 
 
+def _adversary_flags_set(args: argparse.Namespace) -> bool:
+    """Whether any adversary knob is non-default."""
+    return (args.loss > 0 or args.dup > 0 or args.reorder > 0
+            or args.crash_count > 0 or args.byzantine_count > 0)
+
+
+def _check_adversary_flags(args: argparse.Namespace) -> None:
+    """Early validation of the adversary knobs (see :func:`_check_churn_flags`).
+
+    Rates must be probabilities, counts non-negative, and the knobs only
+    mean something to the tasks that build an adversary from the spec;
+    conversely ``--task adversary`` without any knob would measure nothing.
+    """
+    for name, rate in (("--loss", args.loss), ("--dup", args.dup),
+                       ("--reorder", args.reorder)):
+        if not (0.0 <= rate <= 1.0):
+            raise ReproError(f"{name} must be in [0, 1] (got {rate})")
+    for name, count in (("--crash-count", args.crash_count),
+                        ("--byzantine-count", args.byzantine_count)):
+        if count < 0:
+            raise ReproError(f"{name} must be >= 0 (got {count})")
+    if args.crash_recover is not None and args.crash_recover < 1:
+        raise ReproError(
+            f"--crash-recover must be >= 1 rounds (got {args.crash_recover}); "
+            f"omit it for crash-stop")
+    if _adversary_flags_set(args) and args.task not in ADVERSARY_CAPABLE_TASKS:
+        raise ReproError(
+            f"--loss/--dup/--reorder/--crash-*/--byzantine-* require --task "
+            f"{'/'.join(ADVERSARY_CAPABLE_TASKS)} (got --task {args.task})")
+    if args.task == "adversary" and not _adversary_flags_set(args):
+        raise ReproError(
+            "--task adversary needs at least one adversary knob "
+            "(--loss/--dup/--reorder/--crash-count/--byzantine-count)")
+
+
+def _check_adversary_protocols(args: argparse.Namespace,
+                               protocols: Sequence[str]) -> None:
+    """Every protocol must be capable of each enabled adversary model."""
+    checks = (
+        (args.loss > 0 or args.dup > 0 or args.reorder > 0,
+         "supports_unreliable_channels", "unreliable channels"),
+        (args.crash_count > 0, "supports_crash", "crash/recover faults"),
+        (args.byzantine_count > 0, "supports_byzantine", "Byzantine gossip"),
+    )
+    for enabled, flag, what in checks:
+        if not enabled:
+            continue
+        unable = sorted(p for p in protocols
+                        if not getattr(PROTOCOLS[p], flag, False))
+        if unable:
+            raise ReproError(
+                f"protocol(s) {', '.join(repr(p) for p in unable)} do not "
+                f"support {what}; capable protocols: "
+                f"{', '.join(capable_names(flag))}")
+
+
 def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
     return SweepSpec(
         families=tuple(args.families),
@@ -179,6 +250,15 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
         churn_rate=args.churn_rate,
         churn_start=args.churn_start,
         churn_events=args.churn_events,
+        loss_rate=args.loss,
+        dup_rate=args.dup,
+        reorder_rate=args.reorder,
+        crash_count=args.crash_count,
+        crash_round=args.crash_round,
+        crash_recover=args.crash_recover,
+        byzantine_count=args.byzantine_count,
+        byzantine_start=args.byzantine_start,
+        byzantine_rounds=args.byzantine_rounds,
     )
 
 
@@ -188,6 +268,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _check_churn_flags(args)
     _check_fault_flags(args)
     _check_churn_protocols(args, args.protocols)
+    _check_adversary_flags(args)
+    _check_adversary_protocols(args, args.protocols)
     sweep = _sweep_from_args(args)
     specs = sweep.expand()
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -268,6 +350,9 @@ def cmd_protocols(args: argparse.Namespace) -> int:
             "protocol": name,
             "churn": "yes" if adapter.supports_churn else "no",
             "faults": "yes" if adapter.supports_faults else "no",
+            "lossy": "yes" if adapter.supports_unreliable_channels else "no",
+            "crash": "yes" if adapter.supports_crash else "no",
+            "byzantine": "yes" if adapter.supports_byzantine else "no",
             "initial policies": "/".join(adapter.initial_policies),
             "description": adapter.description,
         })
@@ -304,6 +389,29 @@ def cmd_report(args: argparse.Namespace) -> int:
 # Parser
 # ---------------------------------------------------------------------------
 
+def _add_adversary_flags(sub: argparse.ArgumentParser) -> None:
+    """The adversary knobs, shared verbatim by ``run`` and ``sweep``."""
+    sub.add_argument("--loss", type=float, default=0.0,
+                     help="per-send probability of message loss")
+    sub.add_argument("--dup", type=float, default=0.0,
+                     help="per-send probability of message duplication")
+    sub.add_argument("--reorder", type=float, default=0.0,
+                     help="per-send probability of out-of-order insertion")
+    sub.add_argument("--crash-count", type=int, default=0,
+                     help="number of seeded-random nodes that crash")
+    sub.add_argument("--crash-round", type=int, default=50,
+                     help="round after which the crashes fire")
+    sub.add_argument("--crash-recover", type=int, default=None,
+                     help="rounds until crashed nodes recover with state "
+                          "loss (omit for permanent crash-stop)")
+    sub.add_argument("--byzantine-count", type=int, default=0,
+                     help="number of seeded-random Byzantine nodes")
+    sub.add_argument("--byzantine-start", type=int, default=10,
+                     help="round after which Byzantine gossip starts")
+    sub.add_argument("--byzantine-rounds", type=int, default=20,
+                     help="length of the Byzantine activity window")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -338,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="first round after which churn may fire")
     run.add_argument("--churn-events", type=int, default=0,
                      help="total scheduled topology events")
+    _add_adversary_flags(run)
     run.add_argument("--json", action="store_true",
                      help="print the full outcome as JSON instead of a table")
     run.set_defaults(func=cmd_run)
@@ -371,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first round after which churn may fire")
     sweep.add_argument("--churn-events", type=int, default=0,
                        help="total scheduled topology events per run")
+    _add_adversary_flags(sweep)
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial fallback; "
                             f"this machine's default would be {default_workers()})")

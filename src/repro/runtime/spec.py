@@ -33,6 +33,8 @@ from ..core.protocol import MDSTConfig
 from ..exceptions import ConfigurationError
 from ..graphs.generators import make_graph
 from ..protocols.base import ProtocolRunConfig
+from ..sim.adversary import (Adversary, ByzantineModel, NodeFaultModel,
+                             make_channel_model)
 from ..sim.faults import ChurnPlan, random_churn_plan
 from ..sim.rng import derive_seed
 
@@ -43,11 +45,21 @@ __all__ = ["RunSpec", "SweepSpec", "spec_key", "CACHE_SCHEMA_VERSION"]
 #: churn parameters (``churn_rate``/``churn_start``/``churn_events``).
 #: 3: RunSpec grew the ``protocol`` field (the unified protocol registry);
 #: every cache key now embeds the protocol that produced the row.
-CACHE_SCHEMA_VERSION = 3
+#: 4: RunSpec grew the adversary axis (``loss_rate``/``dup_rate``/
+#: ``reorder_rate``/``crash_*``/``byzantine_*``); legacy dicts without the
+#: new keys deserialize to the adversary-free defaults.
+CACHE_SCHEMA_VERSION = 4
 
 #: Stream index for deriving a run's churn-plan seed from its master seed
 #: (decoupled from the repetition streams used by :class:`SweepSpec`).
 CHURN_SEED_STREAM = 101
+
+#: Stream indices for the adversary models' private generators, derived from
+#: the run seed.  Distinct streams keep the channel, crash and Byzantine
+#: draws independent of each other and of the scheduler/fault/churn streams.
+CHANNEL_SEED_STREAM = 211
+CRASH_SEED_STREAM = 223
+BYZANTINE_SEED_STREAM = 227
 
 
 @dataclass(frozen=True)
@@ -81,6 +93,19 @@ class RunSpec:
         schedules ``churn_events`` node/edge changes, one every
         ``round(1 / churn_rate)`` rounds starting after ``churn_start``
         (used by the ``churn`` task and benchmark).
+    loss_rate, dup_rate, reorder_rate:
+        Channel-adversary intensities: per-send probabilities of message
+        loss, duplication and out-of-order insertion.  Any non-zero rate
+        installs a seeded :class:`~repro.sim.adversary.UnreliableChannelModel`.
+    crash_count, crash_round, crash_recover:
+        When ``crash_count > 0``, that many seeded-random nodes crash after
+        ``crash_round``; with ``crash_recover`` set they recover (with
+        total state loss) that many rounds later, otherwise the crash is
+        permanent (crash-stop).
+    byzantine_count, byzantine_start, byzantine_rounds:
+        When ``byzantine_count > 0``, that many seeded-random nodes emit
+        corrupted gossip every round of the ``byzantine_rounds``-round
+        window opening after ``byzantine_start``.
     params:
         Task-specific extras as a sorted tuple of ``(key, value)`` pairs so
         the spec stays hashable; use :meth:`param` to read them.
@@ -101,6 +126,15 @@ class RunSpec:
     churn_rate: float = 0.0
     churn_start: int = 50
     churn_events: int = 0
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    crash_count: int = 0
+    crash_round: int = 50
+    crash_recover: Optional[int] = None
+    byzantine_count: int = 0
+    byzantine_start: int = 10
+    byzantine_rounds: int = 20
     params: Tuple[Tuple[str, object], ...] = ()
 
     # -- derived views ---------------------------------------------------------
@@ -138,10 +172,47 @@ class RunSpec:
             seed=derive_seed(self.seed, CHURN_SEED_STREAM))
 
     @property
+    def adversary_enabled(self) -> bool:
+        """Whether this spec configures any adversary model."""
+        return (self.loss_rate > 0 or self.dup_rate > 0 or self.reorder_rate > 0
+                or self.crash_count > 0 or self.byzantine_count > 0)
+
+    def build_adversary(self) -> Optional[Adversary]:
+        """The spec's :class:`~repro.sim.adversary.Adversary` (``None`` when
+        the adversary axis is off).
+
+        Each model's private generator is seeded from the run seed through
+        an independent stream (:data:`CHANNEL_SEED_STREAM` and friends), so
+        enabling one model never perturbs the others or the scheduler/
+        fault/churn streams.  Build a fresh adversary per run: the models
+        carry per-run counters and resolved victim sets.
+        """
+        if not self.adversary_enabled:
+            return None
+        channel_model = make_channel_model(
+            loss=self.loss_rate, dup=self.dup_rate, reorder=self.reorder_rate,
+            seed=derive_seed(self.seed, CHANNEL_SEED_STREAM))
+        node_faults = None
+        if self.crash_count > 0:
+            node_faults = NodeFaultModel(
+                crash_round=self.crash_round, count=self.crash_count,
+                recover_after=self.crash_recover,
+                seed=derive_seed(self.seed, CRASH_SEED_STREAM))
+        byzantine = None
+        if self.byzantine_count > 0:
+            byzantine = ByzantineModel(
+                count=self.byzantine_count, start_round=self.byzantine_start,
+                rounds=self.byzantine_rounds,
+                seed=derive_seed(self.seed, BYZANTINE_SEED_STREAM))
+        return Adversary(channel_model=channel_model, node_faults=node_faults,
+                         byzantine=byzantine)
+
+    @property
     def label(self) -> str:
         protocol = "" if self.protocol == "mdst" else f"{self.protocol}:"
+        adv = "-adv" if self.adversary_enabled else ""
         return (f"{self.task}:{protocol}{self.family}-n{self.n}-s{self.seed}"
-                f"-{self.scheduler}-{self.initial}")
+                f"-{self.scheduler}-{self.initial}{adv}")
 
     def param(self, key: str, default: object = None) -> object:
         """Read a task-specific parameter from :attr:`params`."""
@@ -217,6 +288,15 @@ class RunSpec:
             "churn_rate": self.churn_rate,
             "churn_start": self.churn_start,
             "churn_events": self.churn_events,
+            "loss_rate": self.loss_rate,
+            "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "crash_count": self.crash_count,
+            "crash_round": self.crash_round,
+            "crash_recover": self.crash_recover,
+            "byzantine_count": self.byzantine_count,
+            "byzantine_start": self.byzantine_start,
+            "byzantine_rounds": self.byzantine_rounds,
             "params": [list(item) for item in self.params],
         }
 
@@ -261,10 +341,11 @@ class SweepSpec:
     :data:`repro.protocols.PROTOCOLS`); the default single-``"mdst"`` axis
     expands to exactly the specs (and order) it always did.
 
-    ``fault_round``/``fault_fraction`` and the ``churn_*`` knobs are
-    forwarded verbatim to every expanded :class:`RunSpec`, so one sweep can
-    put every protocol through the same transient-fault or topology-churn
-    scenario.
+    ``fault_round``/``fault_fraction``, the ``churn_*`` knobs and the
+    adversary knobs (``loss_rate``/``dup_rate``/``reorder_rate``/
+    ``crash_*``/``byzantine_*``) are forwarded verbatim to every expanded
+    :class:`RunSpec`, so one sweep can put every protocol through the same
+    transient-fault, topology-churn or adversary scenario.
     """
 
     families: Tuple[str, ...] = ("erdos_renyi_sparse",)
@@ -282,6 +363,15 @@ class SweepSpec:
     churn_rate: float = 0.0
     churn_start: int = 50
     churn_events: int = 0
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    crash_count: int = 0
+    crash_round: int = 50
+    crash_recover: Optional[int] = None
+    byzantine_count: int = 0
+    byzantine_start: int = 10
+    byzantine_rounds: int = 20
 
     def seed_for(self, repetition: int) -> int:
         if self.seeds:
@@ -324,5 +414,14 @@ class SweepSpec:
                                     churn_rate=self.churn_rate,
                                     churn_start=self.churn_start,
                                     churn_events=self.churn_events,
+                                    loss_rate=self.loss_rate,
+                                    dup_rate=self.dup_rate,
+                                    reorder_rate=self.reorder_rate,
+                                    crash_count=self.crash_count,
+                                    crash_round=self.crash_round,
+                                    crash_recover=self.crash_recover,
+                                    byzantine_count=self.byzantine_count,
+                                    byzantine_start=self.byzantine_start,
+                                    byzantine_rounds=self.byzantine_rounds,
                                 ))
         return specs

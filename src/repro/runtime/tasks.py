@@ -25,6 +25,10 @@ The registry covers every kind of measurement the E1-E8 experiments need:
 ``churn``      timed protocol execution under a live topology churn plan
                (node/edge joins and leaves through the network mutation
                APIs); reports recovery and throughput, never cached
+``adversary``  timed protocol execution under the spec's adversary models
+               (unreliable channels, crash/recover nodes, Byzantine
+               gossip); reports a survival verdict and recovery rounds,
+               never cached
 =============  ==============================================================
 
 The protocol-style tasks (``protocol``/``throughput``/``churn``) dispatch
@@ -59,8 +63,9 @@ from ..exceptions import ConfigurationError
 from ..graphs.generators import hard_hub_graph
 from ..graphs.properties import is_hamiltonian_path_certificate, mdst_lower_bound
 from ..graphs.spanning import bfs_spanning_tree, tree_degree
-from ..protocols.registry import churn_capable_names, get_protocol
+from ..protocols.registry import capable_names, churn_capable_names, get_protocol
 from ..protocols.runner import run_protocol
+from ..sim.adversary import Adversary
 from ..sim.faults import FaultPlan
 from .spec import RunSpec
 
@@ -110,6 +115,38 @@ def _fault_plan(spec: RunSpec) -> Optional[FaultPlan]:
         return None
     return FaultPlan().add(round_index=spec.fault_round,
                            node_fraction=spec.fault_fraction)
+
+
+def _adversary(spec: RunSpec) -> Optional[Adversary]:
+    """The spec's adversary, gated by the adapter's capability flags.
+
+    Mirrors the churn task's early rejection: a spec pairing an adversary
+    model with a protocol whose adapter does not declare the matching
+    capability fails fast with the eligible protocols listed, instead of
+    silently mislabelling a row.
+    """
+    adversary = spec.build_adversary()
+    if adversary is None:
+        return None
+    adapter = get_protocol(spec.protocol)
+    cm = adversary.channel_model
+    if (cm is not None and not cm.is_reliable
+            and not adapter.supports_unreliable_channels):
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support unreliable "
+            f"channels; capable protocols: "
+            f"{', '.join(capable_names('supports_unreliable_channels'))}")
+    if adversary.node_faults is not None and not adapter.supports_crash:
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support crash/recover "
+            f"faults; capable protocols: "
+            f"{', '.join(capable_names('supports_crash'))}")
+    if adversary.byzantine is not None and not adapter.supports_byzantine:
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support Byzantine gossip; "
+            f"capable protocols: "
+            f"{', '.join(capable_names('supports_byzantine'))}")
+    return adversary
 
 
 def _require_mdst(spec: RunSpec) -> None:
@@ -192,7 +229,8 @@ def run_protocol_task(spec: RunSpec) -> RunOutcome:
     """
     graph = spec.build_graph()
     result = run_protocol(graph, spec.protocol_run_config(),
-                          fault_plan=_fault_plan(spec))
+                          fault_plan=_fault_plan(spec),
+                          adversary=_adversary(spec))
     record = _record_for(spec, graph, result)
     convergence_round = result.run.extra.get("convergence_round")
     row = _identify(spec, graph)
@@ -207,6 +245,11 @@ def run_protocol_task(spec: RunSpec) -> RunOutcome:
         "max_message_bits": result.run.extra.get("max_message_bits", 0),
         "deliveries_by_type": result.run.extra.get("deliveries_by_type", {}),
     })
+    if spec.adversary_enabled:
+        # Only adversarial specs grow these columns: the E1-E8 rows are
+        # verified byte-identical across refactors and must keep shape.
+        row["adversary"] = result.run.extra.get("adversary", "")
+        row["adversary_events"] = result.run.extra.get("adversary_events", 0)
     return RunOutcome(spec=spec, row=row, record=record)
 
 
@@ -365,8 +408,10 @@ def run_throughput_task(spec: RunSpec) -> RunOutcome:
     """
     graph = spec.build_graph()
     config = spec.protocol_run_config()
+    adversary = _adversary(spec)
     start = time.perf_counter()
-    result = run_protocol(graph, config, fault_plan=_fault_plan(spec))
+    result = run_protocol(graph, config, fault_plan=_fault_plan(spec),
+                          adversary=adversary)
     seconds = time.perf_counter() - start
     row = _identify(spec, graph)
     row.update({
@@ -410,9 +455,10 @@ def run_churn_task(spec: RunSpec) -> RunOutcome:
         # Joins may grow the network past the input size: keep the distance
         # bound legal for every topology the plan can produce.
         config.n_upper = graph.number_of_nodes() + spec.churn_events + 1
+    adversary = _adversary(spec)
     start = time.perf_counter()
     result = run_protocol(graph, config, fault_plan=_fault_plan(spec),
-                          churn_plan=plan)
+                          churn_plan=plan, adversary=adversary)
     seconds = time.perf_counter() - start
     extra = result.run.extra
     convergence_round = extra.get("convergence_round")
@@ -439,18 +485,91 @@ def run_churn_task(spec: RunSpec) -> RunOutcome:
         "seconds": round(seconds, 4),
         "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
     })
+    if spec.adversary_enabled:
+        # Adversary losses are accounted by the channel model, never in
+        # ``dropped_messages`` (which is churn-only) -- the two columns
+        # stay independently meaningful on a lossy churned run.
+        row["adversary"] = extra.get("adversary", "")
+        row["adversary_dropped"] = extra.get("adversary_dropped", 0)
+    return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
+
+
+def run_adversary_task(spec: RunSpec) -> RunOutcome:
+    """Protocol execution under the spec's adversary models.
+
+    Builds the spec's :class:`~repro.sim.adversary.Adversary` (unreliable
+    channels and/or crash/recover node faults and/or Byzantine gossip --
+    :meth:`~repro.runtime.spec.RunSpec.build_adversary`), runs the protocol
+    through the hostile execution, and reports a *survival verdict*:
+    ``"recovered"`` when the legitimacy predicate re-stabilized after the
+    last scheduled adversary event (or under continuous channel noise),
+    ``"not_recovered"`` otherwise.  ``recovery_rounds`` is the gap between
+    the last fired scheduled event and the convergence round (``None`` for
+    channel-noise-only adversaries, which schedule no events).  Rows carry
+    wall-clock timing, so the engine never caches them (see
+    :data:`UNCACHEABLE_TASKS`).
+
+    Dispatches on ``spec.protocol``; each enabled model is gated by the
+    adapter's matching capability flag (``supports_unreliable_channels``/
+    ``supports_crash``/``supports_byzantine``) before any work happens.
+    """
+    if not spec.adversary_enabled:
+        raise ConfigurationError(
+            "the adversary task needs at least one adversary knob "
+            "(--loss/--dup/--reorder/--crash-count/--byzantine-count)")
+    adversary = _adversary(spec)
+    graph = spec.build_graph()
+    config = spec.protocol_run_config()
+    start = time.perf_counter()
+    result = run_protocol(graph, config, fault_plan=_fault_plan(spec),
+                          adversary=adversary)
+    seconds = time.perf_counter() - start
+    extra = result.run.extra
+    convergence_round = extra.get("convergence_round")
+    adversary_rounds = extra.get("adversary_rounds", [])
+    recovery: Optional[int] = None
+    if result.converged and convergence_round is not None and adversary_rounds:
+        recovery = convergence_round - max(adversary_rounds)
+    row = _identify(spec, graph)
+    row.update({
+        "adversary": extra.get("adversary", ""),
+        "loss_rate": spec.loss_rate,
+        "dup_rate": spec.dup_rate,
+        "reorder_rate": spec.reorder_rate,
+        "crash_count": spec.crash_count,
+        "crash_recover": spec.crash_recover,
+        "byzantine_count": spec.byzantine_count,
+        "converged": result.converged,
+        "verdict": "recovered" if result.converged else "not_recovered",
+        "rounds": result.rounds,
+        "convergence_round": convergence_round,
+        "recovery_rounds": recovery,
+        "adversary_events": extra.get("adversary_events", 0),
+        "adversary_dropped": extra.get("adversary_dropped", 0),
+        "adversary_duplicated": extra.get("adversary_duplicated", 0),
+        "adversary_reordered": extra.get("adversary_reordered", 0),
+        "node_crashes": extra.get("node_crashes", 0),
+        "node_recoveries": extra.get("node_recoveries", 0),
+        "byzantine_corruptions": extra.get("byzantine_corruptions", 0),
+        "steps": result.run.steps,
+        "messages": result.run.messages,
+        "tree_degree": result.tree_degree,
+        "seconds": round(seconds, 4),
+        "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
+    })
     return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
 
 
 #: Tasks whose rows are wall-clock measurements: the engine never serves
 #: them from (or writes them to) the result cache -- a cached timing row
 #: would silently masquerade as a fresh measurement.
-UNCACHEABLE_TASKS = frozenset({"throughput", "churn"})
+UNCACHEABLE_TASKS = frozenset({"throughput", "churn", "adversary"})
 
 TASKS: Dict[str, Callable[[RunSpec], RunOutcome]] = {
     "protocol": run_protocol_task,
     "throughput": run_throughput_task,
     "churn": run_churn_task,
+    "adversary": run_adversary_task,
     "reference": run_reference_task,
     "memory": run_memory_task,
     "quality": run_quality_task,

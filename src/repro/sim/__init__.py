@@ -5,6 +5,9 @@ subclass of :class:`~repro.sim.node.Process` can be simulated under any of
 the provided schedulers, with fault injection and tracing.
 """
 
+from .adversary import (Adversary, ByzantineModel, ChannelModel,
+                        NodeFaultModel, ReliableFifoChannelModel,
+                        UnreliableChannelModel, make_channel_model)
 from .channel import Channel, ChannelStats
 from .faults import (ChurnEvent, ChurnPlan, FaultEvent, FaultPlan,
                      corrupt_channels, corrupt_everything, corrupt_states,

@@ -58,7 +58,8 @@ class Channel:
     contents), but once the simulation runs the FIFO discipline holds.
     """
 
-    __slots__ = ("src", "dst", "_queue", "stats", "_network_size", "_on_change")
+    __slots__ = ("src", "dst", "_queue", "stats", "_network_size", "_on_change",
+                 "_model")
 
     def __init__(self, src: NodeId, dst: NodeId, network_size: int = 2):
         if src == dst:
@@ -73,20 +74,35 @@ class Channel:
         #: active-channel set and configuration version current without the
         #: channel knowing anything about the network.
         self._on_change = None
+        #: Optional :class:`~repro.sim.adversary.ChannelModel` deciding how
+        #: each sent message lands on the queue.  ``None`` (the default) is
+        #: the historical reliable-FIFO fast path.
+        self._model = None
 
     def watch(self, on_change) -> None:
         """Install the activity callback ``(channel, delta) -> None``."""
         self._on_change = on_change
 
+    def set_model(self, model) -> None:
+        """Install (or with ``None`` remove) the channel's delivery model."""
+        self._model = model
+
     # -- sending / delivering ------------------------------------------------
 
-    def send(self, message: Message) -> None:
-        """Append ``message`` to the tail of the channel (called by ``src``)."""
-        if not isinstance(message, Message):
-            raise ChannelError(
-                f"only Message instances may be sent, got {type(message).__name__}")
+    def _enqueue(self, message: Message, index: int | None = None) -> None:
+        """Place one message copy on the queue and account for it.
+
+        ``index=None`` appends at the tail (reliable FIFO); an integer
+        inserts at that queue position (adversarial reordering).  Updates
+        the statistics and fires the activity hook exactly like a
+        historical ``send`` did, so the ``index=None`` path stays
+        byte-identical to the model-free channel.
+        """
         queue = self._queue
-        queue.append(message)
+        if index is None or index >= len(queue):
+            queue.append(message)
+        else:
+            queue.insert(index, message)
         stats = self.stats
         stats.sent += 1
         length = len(queue)
@@ -97,6 +113,26 @@ class Channel:
             stats.max_message_bits = bits
         if self._on_change is not None:
             self._on_change(self, 1)
+
+    def send(self, message: Message) -> None:
+        """Hand ``message`` to the channel (called by ``src``).
+
+        Without a delivery model the message is appended at the tail
+        (reliable FIFO).  With one, the model decides the placements: none
+        (lost), several (duplicated) or out-of-order (reordered).  A lost
+        message never enters the queue -- and is *not* counted in
+        ``stats.sent`` or the network's churn-loss counter; the model keeps
+        its own accounting.
+        """
+        if not isinstance(message, Message):
+            raise ChannelError(
+                f"only Message instances may be sent, got {type(message).__name__}")
+        model = self._model
+        if model is None:
+            self._enqueue(message)
+            return
+        for copy, index in model.on_send(self, message):
+            self._enqueue(copy, index)
 
     def deliver(self) -> Message:
         """Pop and return the message at the head of the channel."""

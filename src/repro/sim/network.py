@@ -176,6 +176,10 @@ class Network:
         self._retired_messages_sent = 0
         self._retired_max_message_bits = 0
         self._disabled: set[NodeId] = set()
+        #: Channel delivery model shared by every channel (``None`` keeps the
+        #: historical reliable-FIFO fast path).  Installed before the channel
+        #: loop below so construction-time and churn-time channels agree.
+        self._channel_model = None
         self._active: set[ChannelKey] = set()
         self._pending_total = 0
         self._channel_order: Dict[ChannelKey, int] = {}
@@ -231,13 +235,31 @@ class Network:
         return self._topology_version
 
     def _install_channel(self, key: ChannelKey) -> Channel:
-        """Create, watch and order one directed channel."""
+        """Create, watch and order one directed channel.
+
+        A channel created by live edge/node churn inherits the network's
+        delivery model: an unreliable adversary stays unreliable on links
+        that appear mid-run.
+        """
         channel = Channel(*key, network_size=self.n)
         channel.watch(self._channel_changed)
+        if self._channel_model is not None:
+            channel.set_model(self._channel_model)
         self._channel_order[key] = self._channel_seq
         self._channel_seq += 1
         self.channels[key] = channel
         return channel
+
+    def install_channel_model(self, model) -> None:
+        """Install a :class:`~repro.sim.adversary.ChannelModel` network-wide.
+
+        Applies to every existing channel and to every channel created later
+        by topology churn.  Passing ``None`` restores the model-free
+        reliable-FIFO fast path.
+        """
+        self._channel_model = model
+        for channel in self.channels.values():
+            channel.set_model(model)
 
     def _channel_changed(self, channel: Channel, delta: int) -> None:
         """Activity hook installed on every channel (send/deliver/preload/clear)."""

@@ -11,6 +11,9 @@ The :class:`Simulator` ties together the pieces defined in this subpackage:
   faults,
 * an optional :class:`~repro.sim.faults.ChurnPlan` for live topology
   changes (node/edge churn), composable with the fault plan,
+* an optional :class:`~repro.sim.adversary.Adversary` bundling a channel
+  delivery model (loss/duplication/reordering), crash/recover node faults
+  and Byzantine gossip,
 * an optional :class:`~repro.sim.trace.TraceRecorder`.
 
 ``Simulator.run`` executes rounds until the convergence monitor fires (plus,
@@ -26,6 +29,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError, ConvergenceError
+from .adversary import Adversary
 from .faults import ChurnPlan, FaultPlan
 from .monitors import ClosureMonitor, ConvergenceMonitor, InvariantMonitor, PredicateCache
 from .network import Network
@@ -64,6 +68,17 @@ class SimulationReport:
     churn_applied: int = 0
     churn_skipped: int = 0
     dropped_messages: int = 0
+    #: Rounds after which a *scheduled* adversary event fired (crash,
+    #: recovery, Byzantine corruption); continuous channel noise is not a
+    #: scheduled event and shows up only in the delivery counters below.
+    adversary_rounds: List[int] = field(default_factory=list)
+    adversary_events: int = 0
+    adversary_dropped: int = 0
+    adversary_duplicated: int = 0
+    adversary_reordered: int = 0
+    node_crashes: int = 0
+    node_recoveries: int = 0
+    byzantine_corruptions: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for tabular reporting."""
@@ -106,6 +121,12 @@ class Simulator:
         are due.  Composable with ``fault_plan``: when both have events due
         after the same round, churn fires first, then the fault corrupts
         (a fraction of) the *mutated* node set.
+    adversary:
+        Optional :class:`~repro.sim.adversary.Adversary`.  Its channel
+        model is installed network-wide before the first round; its
+        scheduled events (crashes, recoveries, Byzantine corruptions) fire
+        between churn and the fault plan and reset the stability streak
+        exactly like churn does.
     trace:
         Optional trace recorder.
     rng:
@@ -127,6 +148,7 @@ class Simulator:
                  invariants: Optional[List[tuple[str, Callable[[Network], bool | str]]]] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  churn_plan: Optional[ChurnPlan] = None,
+                 adversary: Optional[Adversary] = None,
                  trace: Optional[TraceRecorder] = None,
                  rng: Optional[np.random.Generator] = None,
                  cache_predicate: bool = True):
@@ -150,6 +172,15 @@ class Simulator:
         # the report count only this run's events when a plan is reused.
         self._churn_baseline = ((len(churn_plan.applied), len(churn_plan.skipped))
                                 if churn_plan is not None else (0, 0))
+        self.adversary = adversary
+        self._adversary_rounds: List[int] = []
+        # Adversary counters accumulate on the model objects; snapshotting
+        # them here lets the report count only this run's events when the
+        # same adversary instance drives several runs.
+        self._adversary_baseline = (dict(adversary.counters())
+                                    if adversary is not None else {})
+        if adversary is not None:
+            adversary.install(network)
         self.trace = trace
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.rounds_executed = 0
@@ -184,6 +215,14 @@ class Simulator:
                     # a non-tree edge, say); reset the stability streak
                     # anyway so the reported convergence round can never
                     # predate the last applied event.
+                    self.monitor.reset_stability()
+        if self.adversary is not None:
+            # After churn (a crash/corruption targets the surviving node
+            # set), before the fault plan (a fault due the same round hits
+            # the post-adversary configuration).
+            if self.adversary.apply_due(self.network, round_index):
+                self._adversary_rounds.append(round_index)
+                if self.monitor is not None:
                     self.monitor.reset_stability()
         if self.fault_plan is not None:
             self.fault_plan.apply_due(self.network, self.rng, round_index)
@@ -242,7 +281,9 @@ class Simulator:
                     (self.fault_plan is not None
                      and self.fault_plan.last_round >= self.rounds_executed)
                     or (self.churn_plan is not None
-                        and self.churn_plan.last_round >= self.rounds_executed))
+                        and self.churn_plan.last_round >= self.rounds_executed)
+                    or (self.adversary is not None
+                        and self.adversary.last_round >= self.rounds_executed))
                 if future_disruptions:
                     converged_at = None
                     self.monitor.reset_stability()
@@ -282,4 +323,23 @@ class Simulator:
             churn_skipped=(len(self.churn_plan.skipped) - self._churn_baseline[1]
                            if self.churn_plan else 0),
             dropped_messages=self.network.dropped_messages,
+            **self._adversary_report_fields(),
         )
+
+    def _adversary_report_fields(self) -> dict:
+        """Per-run adversary accounting (deltas against the install baseline)."""
+        if self.adversary is None:
+            return {}
+        base = self._adversary_baseline
+        counts = self.adversary.counters()
+        delta = {k: counts[k] - base.get(k, 0) for k in counts}
+        return {
+            "adversary_rounds": list(self._adversary_rounds),
+            "adversary_events": len(self._adversary_rounds),
+            "adversary_dropped": delta.get("dropped", 0),
+            "adversary_duplicated": delta.get("duplicated", 0),
+            "adversary_reordered": delta.get("reordered", 0),
+            "node_crashes": delta.get("crashes", 0),
+            "node_recoveries": delta.get("recoveries", 0),
+            "byzantine_corruptions": delta.get("byzantine_corruptions", 0),
+        }

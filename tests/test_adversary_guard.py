@@ -1,0 +1,133 @@
+"""Tier-1 guards: the adversary axis must not disturb adversary-free runs.
+
+Three invariants protect the cache and the committed experiment tables
+across the v3 -> v4 schema bump:
+
+* **Legacy compatibility** -- pre-v4 spec dicts (no adversary keys)
+  deserialize to adversary-free specs; the new fields carry inert defaults.
+* **Cache key discipline** -- v4 dicts round-trip exactly, the adversary
+  knobs are part of the hashed payload (turning one on changes the key),
+  and the schema version bump retired every v3 entry at once.
+* **Byte identity** -- with no adversary configured, experiment rows are
+  bit-for-bit what the pre-adversary code produced.  The default check
+  replays a fast slice of E2's quick workload against a recorded digest;
+  ``REPRO_E2_FULL_GUARD=1`` replays the whole E2 quick profile (~25s).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.experiments.config import get_profile
+from repro.experiments.workloads import scaling_workload
+from repro.runtime.spec import CACHE_SCHEMA_VERSION, RunSpec, spec_key
+from repro.runtime.tasks import run_protocol_task
+
+#: md5 over the rows of the first three E2 quick-profile instances,
+#: recorded while the full E1-E8 quick tables matched their pre-adversary
+#: digests (see docs/experiments.md).
+E2_FAST_SLICE_MD5 = "48c8c1fd2aebeb74f0b2b8102062df34"
+
+#: md5 over the full E2 quick-profile row list (env-gated: ~25s).
+E2_FULL_MD5 = "88fcf617654ea5cd99e8917fbede123d"
+
+#: A spec dict exactly as schema v3 wrote it: no adversary keys.
+LEGACY_V3_DICT = {
+    "task": "protocol",
+    "protocol": "mdst",
+    "family": "erdos_renyi_sparse",
+    "n": 16,
+    "seed": 3,
+    "scheduler": "synchronous",
+    "initial": "isolated",
+    "max_rounds": 500,
+    "stability_window": 5,
+    "enable_reduction": True,
+    "fault_round": None,
+    "fault_fraction": 0.3,
+    "churn_rate": 0.0,
+    "churn_start": 10,
+    "churn_events": 0,
+    "params": [],
+}
+
+ADVERSARY_FIELDS = ("loss_rate", "dup_rate", "reorder_rate", "crash_count",
+                    "crash_round", "crash_recover", "byzantine_count",
+                    "byzantine_start", "byzantine_rounds")
+
+
+class TestSchemaCompatibility:
+    def test_schema_version_bumped_for_the_adversary_axis(self):
+        assert CACHE_SCHEMA_VERSION == 4
+
+    def test_legacy_v3_dict_loads_adversary_free(self):
+        spec = RunSpec.from_dict(LEGACY_V3_DICT)
+        assert not spec.adversary_enabled
+        assert spec.build_adversary() is None
+        assert "-adv" not in spec.label
+        assert spec.loss_rate == 0.0 and spec.crash_count == 0
+        assert spec.byzantine_count == 0
+
+    def test_default_spec_round_trips_exactly(self):
+        spec = RunSpec(task="protocol", family="wheel", n=12, seed=5)
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert spec_key(clone) == spec_key(spec)
+
+    def test_v4_dict_carries_every_adversary_field(self):
+        payload = RunSpec().to_dict()
+        for name in ADVERSARY_FIELDS:
+            assert name in payload
+
+    def test_legacy_and_default_specs_hash_identically(self):
+        """A v3 dict and the equivalent v4 spec share one cache entry."""
+        legacy = RunSpec.from_dict(LEGACY_V3_DICT)
+        explicit = RunSpec.from_dict({**LEGACY_V3_DICT,
+                                      **{f: RunSpec().to_dict()[f]
+                                         for f in ADVERSARY_FIELDS}})
+        assert spec_key(legacy) == spec_key(explicit)
+
+    @pytest.mark.parametrize("field,value", [
+        ("loss_rate", 0.05), ("dup_rate", 0.05), ("reorder_rate", 0.1),
+        ("crash_count", 1), ("byzantine_count", 1),
+    ])
+    def test_enabling_a_knob_changes_the_cache_key(self, field, value):
+        from dataclasses import replace
+        base = RunSpec(task="protocol", family="wheel", n=12, seed=5)
+        assert spec_key(replace(base, **{field: value})) != spec_key(base)
+
+
+class TestAdversaryFreeByteIdentity:
+    def test_default_rows_carry_no_adversary_columns(self):
+        """E1-E8 row shape: adversary columns appear only when enabled."""
+        row = run_protocol_task(RunSpec(task="protocol", family="wheel",
+                                        n=8, seed=1)).row
+        assert not any(key.startswith("adversary") for key in row)
+
+    def test_e2_fast_slice_is_byte_identical(self):
+        profile = get_profile("quick")
+        rows = [
+            run_protocol_task(RunSpec(task="protocol", family=inst.family,
+                                      n=inst.n, seed=inst.seed,
+                                      initial="isolated",
+                                      max_rounds=profile.max_rounds)).row
+            for inst in list(scaling_workload(profile))[:3]
+        ]
+        digest = hashlib.md5(json.dumps(rows, sort_keys=True,
+                                        default=str).encode()).hexdigest()
+        assert digest == E2_FAST_SLICE_MD5
+
+    @pytest.mark.skipif(not os.environ.get("REPRO_E2_FULL_GUARD"),
+                        reason="slow full-profile guard; set "
+                               "REPRO_E2_FULL_GUARD=1 to run")
+    def test_e2_full_quick_profile_is_byte_identical(self):
+        from repro.experiments import EXPERIMENTS
+
+        rows = EXPERIMENTS["E2"]("quick").rows
+        digest = hashlib.md5(json.dumps(rows, sort_keys=True,
+                                        default=str).encode()).hexdigest()
+        assert digest == E2_FULL_MD5

@@ -1,0 +1,324 @@
+"""Property tests for the adversary layer (PR 6 satellites).
+
+Three properties anchor the layer's correctness:
+
+1. **Reliable-FIFO equivalence** -- a network carrying the explicit
+   :class:`~repro.sim.adversary.ReliableFifoChannelModel` is step-for-step
+   indistinguishable from the historical model-free network: after any
+   interleaving of rounds, single deliveries, timeouts, corruptions and
+   enable toggles, the snapshot fingerprints, every channel's queued
+   messages *and* the per-channel statistics are identical.  The adversary
+   plumbing must be a pure extension point, not a behaviour change.
+
+2. **Seeded determinism** -- the unreliable channel models, crash schedules
+   and Byzantine corruption draw only from their private seeded generators,
+   so a full adversarial run (loss + duplication + reordering + crash +
+   Byzantine) reproduces the exact same outcome and accounting in
+   subprocesses launched with different ``PYTHONHASHSEED`` values.
+
+3. **Closure while the adversary is quiet** -- once every *scheduled*
+   adversary event has fired and the system has re-converged, the
+   configuration stays legitimate: Definition 1's closure property holds in
+   the extra observed rounds, for every built-in protocol and fault model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graphs import make_graph
+from repro.protocols import PROTOCOLS, ProtocolRunConfig, run_protocol
+from repro.sim import (
+    Adversary,
+    ByzantineModel,
+    Network,
+    NodeFaultModel,
+    ReliableFifoChannelModel,
+    SynchronousScheduler,
+    UnreliableChannelModel,
+)
+from repro.sim.faults import corrupt_states
+from repro.sim.scheduler import RoundStats
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+SETTINGS = settings(max_examples=20, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+FAMILIES = ("wheel", "cycle", "erdos_renyi_sparse", "two_hub")
+PROTOCOL_NAMES = ("mdst", "spanning_tree", "pif_max_degree")
+
+
+def build_net(protocol: str, family: str, n: int, seed: int) -> Network:
+    graph = make_graph(family, n, seed=seed)
+    adapter = PROTOCOLS[protocol]
+    return adapter.build_network(graph, ProtocolRunConfig(protocol=protocol,
+                                                          seed=seed))
+
+
+def apply_op(net: Network, sched: SynchronousScheduler, op: tuple,
+             index: int) -> None:
+    """One deterministic simulation operation (subset of the kernel suite's
+    op alphabet: no topology events -- channel equivalence is about the
+    message layer)."""
+    code, a, b = op
+    v = net.node_ids[a % net.n]
+    if code == 0:                                   # one synchronous round
+        sched.run_round(net)
+    elif code == 1:                                 # deliver one pending message
+        deliveries = net.enabled_deliveries()
+        if deliveries:
+            src, dst, _ = deliveries[b % len(deliveries)]
+            sched._deliver_one(net, src, dst, None, RoundStats())
+    elif code == 2:                                 # timeout step of one node
+        if net.node_enabled(v):
+            sched._timeout_one(net, v, None, RoundStats())
+    elif code == 3:                                 # transient fault on one node
+        corrupt_states(net, np.random.default_rng(1000 + index), nodes=[v])
+    else:                                           # enable/disable toggle
+        net.set_node_enabled(v, not net.node_enabled(v))
+
+
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 63), st.integers(0, 63)),
+    min_size=1, max_size=20)
+
+
+def channel_contents(net: Network) -> dict:
+    return {key: tuple(ch) for key, ch in net.channels.items()}
+
+
+def channel_stats(net: Network) -> dict:
+    return {key: (ch.stats.sent, ch.stats.delivered, ch.stats.max_queue_length,
+                  ch.stats.max_message_bits)
+            for key, ch in net.channels.items()}
+
+
+class TestReliableFifoEquivalence:
+    """Property 1: the explicit reliable model is a no-op."""
+
+    @SETTINGS
+    @given(protocol=st.sampled_from(PROTOCOL_NAMES),
+           family=st.sampled_from(FAMILIES), n=st.integers(5, 9),
+           seed=st.integers(0, 5), ops=ops_strategy)
+    def test_step_for_step_identical(self, protocol, family, n, seed, ops):
+        bare = build_net(protocol, family, n, seed)
+        modelled = build_net(protocol, family, n, seed)
+        modelled.install_channel_model(ReliableFifoChannelModel())
+        sched_a, sched_b = SynchronousScheduler(), SynchronousScheduler()
+        for index, op in enumerate(ops):
+            apply_op(bare, sched_a, op, index)
+            apply_op(modelled, sched_b, op, index)
+            assert modelled.snapshot_key() == bare.snapshot_key()
+            assert channel_contents(modelled) == channel_contents(bare)
+            assert channel_stats(modelled) == channel_stats(bare)
+
+    def test_removing_the_model_restores_the_fast_path(self):
+        net = build_net("mdst", "wheel", 6, 0)
+        net.install_channel_model(ReliableFifoChannelModel())
+        net.install_channel_model(None)
+        assert all(ch._model is None for ch in net.channels.values())
+
+    def test_churn_created_channels_inherit_the_model(self):
+        net = build_net("spanning_tree", "cycle", 6, 0)
+        model = ReliableFifoChannelModel()
+        net.install_channel_model(model)
+        absent = next((u, w) for u in net.node_ids for w in net.node_ids
+                      if u < w and not net.has_edge(u, w))
+        net.add_edge(*absent)
+        assert net.channels[absent]._model is model
+        assert net.channels[(absent[1], absent[0])]._model is model
+
+
+#: Executed in each subprocess: one fully adversarial MDST run (all three
+#: channel effects plus a crash-recover schedule and a Byzantine window) and
+#: one pure channel-noise spanning-tree run; print outcome + accounting.
+_RUNNER = r"""
+import json
+from repro.graphs import make_graph
+from repro.protocols import ProtocolRunConfig, run_protocol
+from repro.sim import Adversary, ByzantineModel, NodeFaultModel, UnreliableChannelModel
+
+def outcome(protocol, adversary, n=12, max_rounds=400):
+    graph = make_graph("erdos_renyi_sparse", n, seed=3)
+    config = ProtocolRunConfig(protocol=protocol, seed=7, max_rounds=max_rounds)
+    result = run_protocol(graph, config, adversary=adversary)
+    extra = result.run.extra
+    return {
+        "converged": result.converged,
+        "rounds": result.rounds,
+        "messages": result.run.messages,
+        "convergence_round": extra["convergence_round"],
+        "adversary_rounds": extra["adversary_rounds"],
+        "dropped": extra["adversary_dropped"],
+        "duplicated": extra["adversary_duplicated"],
+        "reordered": extra["adversary_reordered"],
+        "crashes": extra["node_crashes"],
+        "recoveries": extra["node_recoveries"],
+        "byzantine": extra["byzantine_corruptions"],
+        "tree": sorted(map(list, result.tree_edges)),
+    }
+
+full = Adversary(
+    channel_model=UnreliableChannelModel(loss=0.05, dup=0.05,
+                                         reorder=0.1, seed=11),
+    node_faults=NodeFaultModel(crash_round=5, count=1, recover_after=4, seed=13),
+    byzantine=ByzantineModel(count=1, start_round=3, rounds=3, seed=17))
+noise = Adversary(channel_model=UnreliableChannelModel(loss=0.1, seed=19))
+print(json.dumps({"mdst_full": outcome("mdst", full),
+                  "st_noise": outcome("spanning_tree", noise)},
+                 sort_keys=True))
+"""
+
+
+def _outcomes_with_hash_seed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run([sys.executable, "-c", _RUNNER], env=env,
+                            capture_output=True, text=True, check=True)
+    return json.loads(result.stdout)
+
+
+class TestSeededDeterminism:
+    """Property 2: adversarial runs reproduce across hash seeds."""
+
+    def test_identical_across_pythonhashseed(self):
+        baseline = _outcomes_with_hash_seed("0")
+        assert baseline["mdst_full"]["dropped"] > 0       # noise actually fired
+        assert baseline["mdst_full"]["crashes"] == 1
+        assert baseline["mdst_full"]["byzantine"] > 0
+        for seed in ("1", "42", "12345"):
+            assert _outcomes_with_hash_seed(seed) == baseline
+
+    def test_same_seed_same_outcome_in_process(self):
+        def once():
+            graph = make_graph("random_geometric", 12, seed=2)
+            adversary = Adversary(channel_model=UnreliableChannelModel(
+                loss=0.08, dup=0.05, reorder=0.1, seed=5))
+            config = ProtocolRunConfig(protocol="spanning_tree", seed=4,
+                                       max_rounds=300)
+            result = run_protocol(graph, config, adversary=adversary)
+            return (result.converged, result.rounds, result.run.messages,
+                    tuple(sorted(result.tree_edges)),
+                    tuple(sorted(adversary.counters().items())))
+
+        assert once() == once()
+
+    def test_different_seed_changes_the_noise(self):
+        graph = make_graph("erdos_renyi_sparse", 12, seed=3)
+
+        def counters(model_seed):
+            adversary = Adversary(channel_model=UnreliableChannelModel(
+                loss=0.2, seed=model_seed))
+            run_protocol(graph, ProtocolRunConfig(protocol="spanning_tree",
+                                                  seed=4, max_rounds=60),
+                         adversary=adversary)
+            return adversary.counters()["dropped"]
+
+        assert counters(1) != counters(2)
+
+
+class TestDropAccountingSeparation:
+    """Regression: churn drops and adversary drops are disjoint counters.
+
+    ``Network.dropped_messages`` counts only messages lost to topology
+    churn (in-flight on a removed edge); a lossy channel model's casualties
+    never enter a queue and are accounted exclusively on the model.  The
+    two must never double-count -- the churn task's ``dropped`` column and
+    the adversary task's ``adversary_dropped`` column would otherwise both
+    be wrong.
+    """
+
+    def test_adversary_losses_never_touch_the_churn_counter(self):
+        net = build_net("spanning_tree", "wheel", 8, 0)
+        model = UnreliableChannelModel(loss=0.5, seed=3)
+        net.install_channel_model(model)
+        sched = SynchronousScheduler()
+        for _ in range(5):
+            sched.run_round(net)
+        assert model.dropped > 0                 # the noise actually fired
+        assert net.dropped_messages == 0         # ...without churn seeing it
+
+    def test_churn_drops_never_touch_the_model_counter(self):
+        net = build_net("spanning_tree", "wheel", 8, 0)
+        model = UnreliableChannelModel(loss=0.5, seed=3)
+        net.install_channel_model(model)
+        sched = SynchronousScheduler()
+        sched.run_round(net)
+        # pick an edge that still carries in-flight messages (the lossy
+        # model may have emptied some queues)
+        u, v = max(((c.src, c.dst) for c in net.channels.values()),
+                   key=lambda e: len(net.channel(*e)) + len(net.channel(e[1], e[0])))
+        pending = len(net.channel(u, v)) + len(net.channel(v, u))
+        assert pending > 0
+        dropped_before = model.dropped
+        net.remove_edge(u, v)                    # churn kills the in-flight mail
+        assert net.dropped_messages == pending
+        assert model.dropped == dropped_before
+
+    def test_end_to_end_columns_stay_disjoint(self):
+        """A lossy run *with* churn reports both counters independently."""
+        from repro.sim.faults import ChurnPlan
+
+        graph = make_graph("wheel", 10, seed=1)
+        adversary = Adversary(channel_model=UnreliableChannelModel(
+            loss=0.3, seed=5))
+        churn = ChurnPlan().remove_edge(2, 1, 2).remove_edge(3, 3, 4)
+        config = ProtocolRunConfig(protocol="spanning_tree", seed=2,
+                                   max_rounds=200)
+        result = run_protocol(graph, config, churn_plan=churn,
+                              adversary=adversary)
+        extra = result.run.extra
+        assert extra["adversary_dropped"] > 0
+        # the network-level counter reflects churn alone; it is bounded by
+        # what the queues could possibly have held, untouched by the model
+        assert extra["dropped_messages"] == result.report.dropped_messages
+        assert extra["adversary_dropped"] == adversary.counters()["dropped"]
+
+
+class TestClosureWhileQuiet:
+    """Property 3: after the last scheduled event, legitimacy is closed."""
+
+    #: Combinations that (by design) never re-converge: the MDST legitimacy
+    #: predicate judges the whole configuration, and a crash-*stopped* node's
+    #: frozen mid-protocol state can never become legitimate again.  The
+    #: survival matrix (tests/test_adversary_survival.py) documents this;
+    #: here it simply has no closure window to check.
+    NEVER_RECONVERGES = {("mdst", "crash-stop")}
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    @pytest.mark.parametrize("model_id,make_adversary", [
+        ("crash-recover", lambda: Adversary(node_faults=NodeFaultModel(
+            crash_round=3, count=1, recover_after=3, seed=9))),
+        ("crash-stop", lambda: Adversary(node_faults=NodeFaultModel(
+            crash_round=3, count=1, seed=9))),
+        ("byzantine", lambda: Adversary(byzantine=ByzantineModel(
+            count=1, start_round=2, rounds=3, seed=9))),
+    ], ids=["crash-recover", "crash-stop", "byzantine"])
+    def test_no_closure_violations_after_reconvergence(self, protocol,
+                                                       model_id,
+                                                       make_adversary):
+        graph = make_graph("erdos_renyi_sparse", 10, seed=1)
+        config = ProtocolRunConfig(protocol=protocol, seed=2, max_rounds=600,
+                                   extra_rounds_after_convergence=10)
+        result = run_protocol(graph, config, adversary=make_adversary())
+        if (protocol, model_id) in self.NEVER_RECONVERGES:
+            assert not result.converged
+            return
+        assert result.converged
+        assert result.report.closure_violations == []
+        # convergence was declared at-or-after the final scheduled event
+        # (the event reset the stability streak), so the closure window
+        # genuinely observed a quiet adversary
+        assert result.run.extra["adversary_rounds"]
+        assert (result.run.extra["convergence_round"]
+                >= max(result.run.extra["adversary_rounds"]))

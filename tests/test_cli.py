@@ -116,6 +116,10 @@ def test_protocols_subcommand_json(capsys):
     by_name = {row["protocol"]: row for row in rows}
     assert by_name["mdst"]["churn"] == "yes"
     assert by_name["pif_max_degree"]["churn"] == "no"
+    for name in ("mdst", "spanning_tree", "pif_max_degree"):
+        assert by_name[name]["lossy"] == "yes"
+        assert by_name[name]["crash"] == "yes"
+        assert by_name[name]["byzantine"] == "yes"
 
 
 def test_run_unknown_protocol_lists_registered_names(capsys):
@@ -268,3 +272,79 @@ def test_cli_module_is_executable_via_subprocess():
         capture_output=True, text=True, env=env, timeout=120)
     assert proc.returncode == 0, proc.stderr
     assert json.loads(proc.stdout)["row"]["converged"] is True
+
+
+# -- adversary flags ----------------------------------------------------------
+
+def test_run_adversary_task_via_cli(capsys):
+    assert main(["run", "--task", "adversary", "--family", "erdos_renyi_sparse",
+                 "--n", "12", "--seed", "1", "--max-rounds", "1000",
+                 "--loss", "0.05", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["spec"]["task"] == "adversary"
+    assert data["spec"]["loss_rate"] == 0.05
+    assert data["row"]["adversary"] == "channel(loss=0.05)"
+    assert data["row"]["verdict"] == "recovered"
+    assert data["row"]["adversary_dropped"] > 0
+
+
+def test_run_adversary_crash_recover_via_cli(capsys):
+    assert main(["run", "--task", "adversary", "--family", "erdos_renyi_sparse",
+                 "--n", "12", "--seed", "1", "--max-rounds", "500",
+                 "--protocol", "spanning_tree", "--crash-count", "1",
+                 "--crash-round", "5", "--crash-recover", "5", "--json"]) == 0
+    row = json.loads(capsys.readouterr().out)["row"]
+    assert row["node_crashes"] == 1 and row["node_recoveries"] == 1
+    assert row["verdict"] == "recovered"
+    assert row["recovery_rounds"] is not None
+
+
+def test_run_adversary_flags_work_with_protocol_task(capsys):
+    """The knobs compose with the plain protocol task, like churn does."""
+    assert main(["run", "--family", "erdos_renyi_sparse", "--n", "12",
+                 "--seed", "1", "--max-rounds", "500",
+                 "--byzantine-count", "1", "--byzantine-start", "3",
+                 "--byzantine-rounds", "3", "--json"]) == 0
+    row = json.loads(capsys.readouterr().out)["row"]
+    assert row["adversary"].startswith("byzantine")
+    assert row["converged"] is True
+
+
+def test_run_adversary_task_requires_a_knob(capsys):
+    assert main(["run", "--task", "adversary", "--family", "wheel",
+                 "--n", "8"]) == 1
+    assert "at least one adversary knob" in capsys.readouterr().err
+
+
+def test_run_rejects_adversary_flags_on_non_capable_task(capsys):
+    assert main(["run", "--task", "baselines", "--family", "wheel",
+                 "--n", "8", "--loss", "0.05"]) == 1
+    assert "--task" in capsys.readouterr().err
+
+
+def test_run_rejects_out_of_range_rates(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8",
+                 "--loss", "1.5"]) == 1
+    assert "must be in [0, 1]" in capsys.readouterr().err
+
+
+def test_run_rejects_zero_crash_recover(capsys):
+    assert main(["run", "--family", "wheel", "--n", "8",
+                 "--crash-count", "1", "--crash-recover", "0"]) == 1
+    assert "--crash-recover" in capsys.readouterr().err
+
+
+def test_sweep_with_loss_over_protocols(capsys):
+    assert main(["sweep", "--families", "erdos_renyi_sparse", "--sizes", "12",
+                 "--seeds", "1", "--max-rounds", "500", "--loss", "0.05",
+                 "--protocols", "mdst,spanning_tree",
+                 "--columns", "protocol,adversary,converged"]) == 0
+    out = capsys.readouterr().out
+    assert "mdst" in out and "spanning_tree" in out
+    assert "channel(loss=0.05)" in out
+
+
+def test_sweep_rejects_adversary_flags_on_non_capable_task(capsys):
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--task", "baselines", "--dup", "0.1"]) == 1
+    assert "--task" in capsys.readouterr().err
