@@ -1,32 +1,52 @@
-"""Large-n scaling benchmark: rounds/sec across network sizes and families.
+"""Large-n scaling benchmark: rounds/sec across sizes and kernel backends.
 
 The paper's Lemma 5 bounds convergence at ``O(m n^2 log n)`` rounds, so
 measuring it meaningfully needs sweeps well beyond the n <= 12 bench
 workloads.  This suite drives the kernel through the runtime engine
-(``throughput`` task) over three qualitatively different graph families --
-sparse Erdős–Rényi, random geometric (the paper's ad-hoc/sensor setting)
-and the hub-heavy barbell -- at n in {16, 32, 64, 128}, and reports
-simulated rounds per wall-clock second.  Convergence is *not* required:
-each instance runs against a fixed per-size round budget, so the metric is
-pure kernel throughput on a live protocol workload.
+(``throughput`` task) in two tiers, each run once per kernel backend
+(``object`` and ``array``) with a per-run ``backend`` column:
+
+* breadth -- three qualitatively different graph families (sparse
+  Erdős–Rényi, random geometric, the hub-heavy barbell) at
+  n in {16, 32, 64, 128};
+* scaling -- the large-n tier, ``erdos_renyi_sparse`` at
+  n in {256, 1024, 4096}, where the vectorized array kernel is expected
+  to pull away from the per-object kernel.
+
+Every number is a *marginal* cost, measured by two-budget warm-up
+subtraction: each configuration runs twice, once for ``warmup`` rounds
+and once for ``warmup + window`` rounds, and the reported seconds are the
+difference.  That cancels everything both runs share -- graph and network
+construction, initial-policy installation, cold caches -- so rounds/sec
+reflects steady per-round kernel cost rather than a setup-amortization
+artifact (the previous revision's fixed per-size budgets made larger
+networks look disproportionately slow purely because setup was a bigger
+share of a smaller budget).  ``stability_window`` is set above the budget
+so every run executes *exactly* ``max_rounds`` rounds; the measured
+window sits in the early, gossip-dominated regime of the cold start.
 
 Two modes, mirroring ``test_bench_kernel_throughput.py``:
 
-* smoke (default) -- n = 16 only with a small round budget; what plain
-  ``pytest`` and the CI smoke job run.  If the committed
+* smoke (default) -- one n=64 instance per backend with a small window;
+  what plain ``pytest`` and the CI smoke job run.  If the committed
   ``BENCH_scaling.json`` carries a matching smoke record, the test fails
   when the current machine is more than ``SMOKE_GUARD_FACTOR`` x slower
-  than the recorded number -- a machine-tolerant regression guard, not a
-  strict gate.
-* record (``REPRO_BENCH_RECORD=1``) -- the full matrix; writes
-  ``BENCH_scaling.json`` (including a fresh smoke record for the guard)
-  and asserts the n=64 aggregate is >= 2x the pre-refactor kernel.
+  than the recorded number *for that backend* -- a machine-tolerant
+  regression guard, not a strict gate.
+* record (``REPRO_BENCH_RECORD=1``) -- both full tiers for both
+  backends; writes ``BENCH_scaling.json`` (including fresh smoke records
+  for the guard) and asserts the array backend's aggregate rounds/sec
+  over the scaling tier (n >= 256) is >= ``ARRAY_SPEEDUP_TARGET`` x the
+  object backend's.
 
-History (record mode, n=64 aggregate over the three families):
+History (record mode):
 
-* pre-dirty-set kernel (PR 2 state): ~26.6 rounds/sec
-* dirty-set incremental snapshots + slotted hot-path state + interned
-  gossip payloads: >= 2x that, recorded in ``BENCH_scaling.json``.
+* pre-dirty-set kernel (PR 2 state): ~26.6 rounds/sec aggregate at n=64
+  under the old setup-inclusive accounting; the dirty-set refactor's
+  acceptance gate was >= 2x that.
+* array-kernel PR: marginal per-round cost at n=256/1024/4096 measured
+  at ~37/177/1042 ms (object) vs ~15/49/119 ms (array) on the reference
+  machine -- the >= 5x aggregate gate below.
 """
 
 from __future__ import annotations
@@ -42,130 +62,198 @@ from repro.runtime.spec import RunSpec
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
-#: The scaling workload: families x sizes, one seed, synchronous scheduler,
-#: isolated cold start, fixed per-size round budgets (larger networks get
-#: smaller budgets so the record run stays laptop-friendly).
+#: Both kernel backends run every tier; rows carry a ``backend`` column.
+BACKENDS: Tuple[str, ...] = ("object", "array")
+
+#: Breadth tier: families x small sizes, one seed, synchronous scheduler,
+#: isolated cold start.
 FAMILIES: Tuple[str, ...] = ("erdos_renyi_sparse", "random_geometric", "barbell")
-SIZES: Tuple[int, ...] = (16, 32, 64, 128)
-ROUND_BUDGETS: Dict[int, int] = {16: 240, 32: 160, 64: 120, 128: 60}
+BREADTH_SIZES: Tuple[int, ...] = (16, 32, 64, 128)
+BREADTH_WARMUP = 3
+BREADTH_WINDOW = 60
+
+#: Scaling tier: the large-n workload the array backend exists for.
+SCALING_FAMILY = "erdos_renyi_sparse"
+SCALING_SIZES: Tuple[int, ...] = (256, 1024, 4096)
+SCALING_WARMUP = 3
+SCALING_WINDOW = 10
+
 SEED = 11
 
 #: Smoke workload: small, fast, fixed -- the CI guard compares like for like.
-SMOKE_SIZES: Tuple[int, ...] = (16,)
-SMOKE_BUDGET = 60
+SMOKE_N = 64
+SMOKE_WARMUP = 2
+SMOKE_WINDOW = 30
 
-#: Fail smoke mode only when throughput drops more than this factor below
-#: the committed record (absorbs machine-to-machine variation).
+#: Fail smoke mode only when a backend's throughput drops more than this
+#: factor below its committed record (absorbs machine-to-machine variation).
 SMOKE_GUARD_FACTOR = 5.0
 
-#: Pre-refactor kernel (PR 2 state) rounds/sec on this exact workload at
-#: n=64, per family, measured on the reference machine before the dirty-set
-#: refactor.  The >= 2x acceptance target is evaluated against the
-#: aggregate (total rounds / total seconds) of these runs.
-PRE_REFACTOR_N64 = {
-    "erdos_renyi_sparse": 42.96,
-    "random_geometric": 61.76,
-    "barbell": 13.65,
-}
-PRE_REFACTOR_N64_AGGREGATE = 26.63
+#: Record-mode acceptance: array-backend aggregate rounds/sec over the
+#: scaling tier must beat the object backend by at least this factor.
+ARRAY_SPEEDUP_TARGET = 5.0
 
 
-def _workload_fingerprint(sizes: Tuple[int, ...], budgets: Dict[int, int]) -> Dict[str, object]:
+def _workload_fingerprint() -> Dict[str, object]:
     return {
         "families": list(FAMILIES),
-        "sizes": list(sizes),
-        "round_budgets": {str(n): budgets[n] for n in sizes},
+        "breadth_sizes": list(BREADTH_SIZES),
+        "scaling_family": SCALING_FAMILY,
+        "scaling_sizes": list(SCALING_SIZES),
+        "backends": list(BACKENDS),
         "seed": SEED,
         "scheduler": "synchronous",
         "initial": "isolated",
         "task": "throughput",
+        "measurement": "two-budget warm-up subtraction",
     }
 
 
-def _specs(sizes: Tuple[int, ...], budgets: Dict[int, int]) -> List[RunSpec]:
-    return [RunSpec(task="throughput", family=family, n=n, seed=SEED,
-                    scheduler="synchronous", initial="isolated",
-                    max_rounds=budgets[n])
-            for family in FAMILIES for n in sizes]
+def _smoke_fingerprint() -> Dict[str, object]:
+    return {
+        "family": SCALING_FAMILY,
+        "n": SMOKE_N,
+        "warmup": SMOKE_WARMUP,
+        "window": SMOKE_WINDOW,
+        "backends": list(BACKENDS),
+        "seed": SEED,
+        "scheduler": "synchronous",
+        "initial": "isolated",
+        "task": "throughput",
+        "measurement": "two-budget warm-up subtraction",
+    }
 
 
-def _run(sizes: Tuple[int, ...], budgets: Dict[int, int]) -> List[Dict[str, object]]:
-    """Execute the workload serially through the sweep engine (no cache)."""
-    engine = SweepEngine(workers=1, cache=None)
-    return [outcome.row for outcome in engine.execute(_specs(sizes, budgets))]
+def _timed_run(engine: SweepEngine, family: str, n: int, backend: str,
+               budget: int) -> float:
+    """One throughput run of exactly ``budget`` rounds; returns seconds.
+
+    ``stability_window`` sits above the budget so the simulator cannot
+    stop early on a transiently legitimate configuration -- the run
+    executes ``max_rounds`` rounds, full stop, and the two budgets of a
+    measurement therefore differ by exactly the window.
+    """
+    spec = RunSpec(task="throughput", family=family, n=n, seed=SEED,
+                   scheduler="synchronous", initial="isolated",
+                   max_rounds=budget, stability_window=budget + 1,
+                   backend=backend)
+    [outcome] = engine.execute([spec])
+    rounds = int(outcome.row["rounds"])
+    assert rounds == budget, (
+        f"{family} n={n} backend={backend}: expected exactly {budget} "
+        f"rounds, got {rounds}")
+    return float(outcome.row["seconds"])
+
+
+def _measure(engine: SweepEngine, family: str, n: int, backend: str,
+             warmup: int, window: int) -> Dict[str, object]:
+    """Marginal cost of ``window`` rounds after a ``warmup``-round prefix."""
+    t_warm = _timed_run(engine, family, n, backend, warmup)
+    t_full = _timed_run(engine, family, n, backend, warmup + window)
+    seconds = max(t_full - t_warm, 1e-9)
+    return {
+        "family": family,
+        "n": n,
+        "backend": backend,
+        "warmup_rounds": warmup,
+        "measured_rounds": window,
+        "seconds": round(seconds, 4),
+        "rounds_per_sec": round(window / seconds, 2),
+        "ms_per_round": round(1000.0 * seconds / window, 3),
+    }
 
 
 def _aggregate(rows: List[Dict[str, object]]) -> float:
     seconds = sum(float(row["seconds"]) for row in rows)
-    rounds = sum(int(row["rounds"]) for row in rows)
+    rounds = sum(int(row["measured_rounds"]) for row in rows)
     return round(rounds / seconds, 2) if seconds > 0 else 0.0
 
 
 def test_scaling_throughput():
     record = os.environ.get("REPRO_BENCH_RECORD", "") == "1"
+    engine = SweepEngine(workers=1, cache=None)
 
     if not record:
-        rows = _run(SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES})
-        current = _aggregate(rows)
+        rows = [_measure(engine, SCALING_FAMILY, SMOKE_N, backend,
+                         SMOKE_WARMUP, SMOKE_WINDOW)
+                for backend in BACKENDS]
         print()
-        print(f"scaling throughput (smoke): {current} rounds/sec over "
-              f"{len(rows)} instances (n={list(SMOKE_SIZES)})")
-        assert current > 0
+        for row in rows:
+            print(f"scaling throughput (smoke, {row['backend']}): "
+                  f"{row['rounds_per_sec']} rounds/sec "
+                  f"({row['ms_per_round']} ms/round at n={SMOKE_N})")
+            assert float(row["rounds_per_sec"]) > 0
         guard = None
         if OUTPUT_PATH.exists():
             committed = json.loads(OUTPUT_PATH.read_text())
             guard = committed.get("smoke_guard")
-        if guard and guard.get("workload") == _workload_fingerprint(
-                SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES}):
-            floor = float(guard["rounds_per_sec"]) / SMOKE_GUARD_FACTOR
-            print(f"smoke guard: recorded {guard['rounds_per_sec']} rounds/sec, "
-                  f"floor {round(floor, 2)}")
-            assert current >= floor, (
-                f"scaling smoke throughput {current} rounds/sec is more than "
-                f"{SMOKE_GUARD_FACTOR}x below the committed record "
-                f"{guard['rounds_per_sec']} (see BENCH_scaling.json)")
+        if guard and guard.get("workload") == _smoke_fingerprint():
+            for row in rows:
+                backend = str(row["backend"])
+                recorded = float(guard["rounds_per_sec"][backend])
+                floor = recorded / SMOKE_GUARD_FACTOR
+                current = float(row["rounds_per_sec"])
+                print(f"smoke guard ({backend}): recorded {recorded} "
+                      f"rounds/sec, floor {round(floor, 2)}")
+                assert current >= floor, (
+                    f"{backend}-backend smoke throughput {current} rounds/sec "
+                    f"is more than {SMOKE_GUARD_FACTOR}x below the committed "
+                    f"record {recorded} (see BENCH_scaling.json)")
         else:
             print("smoke guard: no matching committed record, guard skipped")
         return
 
-    # -- record mode: full matrix + fresh smoke record ----------------------
-    rows = _run(SIZES, ROUND_BUDGETS)
-    by_n = {n: _aggregate([r for r in rows if r["n"] == n]) for n in SIZES}
-    n64_rows = [r for r in rows if r["n"] == 64]
-    n64 = _aggregate(n64_rows)
-    speedup = round(n64 / PRE_REFACTOR_N64_AGGREGATE, 2)
+    # -- record mode: smoke first, then both tiers, both backends -----------
+    # The smoke record runs before the heavy tiers: the n=4096 object runs
+    # leave the allocator and GC in a state that inflates every later
+    # small-n measurement, and the guard must compare against the same
+    # fresh-process conditions plain ``pytest`` runs under.
+    smoke_rows = [_measure(engine, SCALING_FAMILY, SMOKE_N, backend,
+                           SMOKE_WARMUP, SMOKE_WINDOW)
+                  for backend in BACKENDS]
+    breadth = [_measure(engine, family, n, backend,
+                        BREADTH_WARMUP, BREADTH_WINDOW)
+               for family in FAMILIES for n in BREADTH_SIZES
+               for backend in BACKENDS]
+    scaling = [_measure(engine, SCALING_FAMILY, n, backend,
+                        SCALING_WARMUP, SCALING_WINDOW)
+               for n in SCALING_SIZES for backend in BACKENDS]
 
-    smoke_rows = _run(SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES})
+    agg = {backend: _aggregate([r for r in scaling if r["backend"] == backend])
+           for backend in BACKENDS}
+    speedup = round(agg["array"] / agg["object"], 2) if agg["object"] else 0.0
     payload = {
         "benchmark": "scaling_throughput",
         "mode": "record",
-        "workload": _workload_fingerprint(SIZES, ROUND_BUDGETS),
-        "runs": rows,
-        "rounds_per_sec_by_n": {str(n): by_n[n] for n in SIZES},
-        "rounds_per_sec": _aggregate(rows),
-        "n64": {
-            "rounds_per_sec": n64,
-            "pre_refactor_rounds_per_sec": PRE_REFACTOR_N64_AGGREGATE,
-            "pre_refactor_by_family": PRE_REFACTOR_N64,
-            "speedup": speedup,
-            "note": "pre-refactor numbers are the PR 2 kernel on this exact "
-                    "workload on the reference machine; compare trends, not "
+        "workload": _workload_fingerprint(),
+        "breadth_runs": breadth,
+        "scaling_runs": scaling,
+        "scaling_aggregate_rounds_per_sec": agg,
+        "array_speedup": {
+            "aggregate": speedup,
+            "target": ARRAY_SPEEDUP_TARGET,
+            "note": "aggregate = sum(measured rounds) / sum(marginal "
+                    "seconds) per backend over the scaling tier (n >= "
+                    "256, erdos_renyi_sparse); compare trends, not "
                     "absolutes, across machines",
         },
         "smoke_guard": {
-            "workload": _workload_fingerprint(
-                SMOKE_SIZES, {n: SMOKE_BUDGET for n in SMOKE_SIZES}),
-            "rounds_per_sec": _aggregate(smoke_rows),
+            "workload": _smoke_fingerprint(),
+            "rounds_per_sec": {str(r["backend"]): r["rounds_per_sec"]
+                               for r in smoke_rows},
             "guard_factor": SMOKE_GUARD_FACTOR,
         },
         "unix_time": int(time.time()),
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
-    print(f"scaling throughput (record): n=64 at {n64} rounds/sec "
-          f"({speedup}x pre-refactor) -> {OUTPUT_PATH.name}")
-    for n in SIZES:
-        print(f"  n={n}: {by_n[n]} rounds/sec")
-    assert n64 >= 2.0 * PRE_REFACTOR_N64_AGGREGATE, (
-        f"n=64 throughput {n64} rounds/sec misses the 2x target over the "
-        f"pre-refactor kernel ({PRE_REFACTOR_N64_AGGREGATE} rounds/sec)")
+    print(f"scaling throughput (record): array {agg['array']} vs object "
+          f"{agg['object']} rounds/sec aggregate -> {speedup}x "
+          f"-> {OUTPUT_PATH.name}")
+    for row in scaling:
+        print(f"  n={row['n']} {row['backend']}: {row['rounds_per_sec']} "
+              f"rounds/sec ({row['ms_per_round']} ms/round)")
+    assert speedup >= ARRAY_SPEEDUP_TARGET, (
+        f"array-backend aggregate {agg['array']} rounds/sec is only "
+        f"{speedup}x the object backend ({agg['object']}); the gate is "
+        f"{ARRAY_SPEEDUP_TARGET}x over the n >= 256 scaling tier")

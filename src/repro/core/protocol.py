@@ -115,6 +115,13 @@ class MDSTConfig:
         runs that expect node *joins* (a churn plan with ``add_node``
         events) must pass headroom here, because a legitimate tree of the
         grown network can have distances beyond the original bound.
+    backend:
+        Simulation kernel backend: ``"object"`` (one process object per
+        node, the historical kernel) or ``"array"`` (flat numpy columns
+        plus a vectorized synchronous round --
+        :mod:`repro.sim.array_kernel`).  The backends are byte-identical
+        in results; ``"array"`` is the large-``n`` fast path but rejects
+        live topology churn and adversary models.
     """
 
     scheduler: str = "synchronous"
@@ -132,11 +139,15 @@ class MDSTConfig:
     max_delay: int = 4
     node_weights: Optional[Dict[NodeId, int]] = None
     n_upper: Optional[int] = None
+    backend: str = "object"
 
     def validate(self) -> None:
         if self.initial not in INITIAL_POLICIES:
             raise ConfigurationError(
                 f"initial must be one of {INITIAL_POLICIES}, got {self.initial!r}")
+        if self.backend not in ("object", "array"):
+            raise ConfigurationError(
+                f"backend must be 'object' or 'array', got {self.backend!r}")
         if self.max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
         if self.stability_window < 1:
@@ -165,6 +176,7 @@ class MDSTConfig:
             max_delay=self.max_delay,
             node_weights=self.node_weights,
             n_upper=self.n_upper,
+            backend=self.backend,
             options={
                 "search_period": self.search_period,
                 "deblock_cooldown": self.deblock_cooldown,

@@ -97,6 +97,13 @@ class ProtocolRunConfig:
         run (unreliable channels, crash/recover node faults, Byzantine
         gossip).  Gated per adapter by the ``supports_unreliable_channels``
         / ``supports_crash`` / ``supports_byzantine`` capability flags.
+    backend:
+        Simulation kernel backend: ``"object"`` (the historical
+        object-per-node kernel) or ``"array"`` (flat numpy state columns
+        with vectorized synchronous rounds, see
+        :mod:`repro.sim.array_kernel`).  Gated per adapter by the
+        ``supports_array_backend`` capability flag; the array backend
+        rejects live topology churn and adversary models.
     options:
         Adapter-specific extras (see each adapter's docstring).
     """
@@ -115,6 +122,7 @@ class ProtocolRunConfig:
     node_weights: Optional[Dict[NodeId, int]] = None
     n_upper: Optional[int] = None
     adversary: Optional[Adversary] = None
+    backend: str = "object"
     options: Dict[str, object] = field(default_factory=dict)
 
     def validate(self) -> None:
@@ -125,6 +133,9 @@ class ProtocolRunConfig:
             raise ConfigurationError("stability_window must be >= 1")
         if self.n_upper is not None and self.n_upper < 2:
             raise ConfigurationError("n_upper must be >= 2")
+        if self.backend not in ("object", "array"):
+            raise ConfigurationError(
+                f"backend must be 'object' or 'array', got {self.backend!r}")
 
     def option(self, key: str, default: object = None) -> object:
         """Read an adapter-specific option."""
@@ -185,6 +196,11 @@ class ProtocolAdapter(abc.ABC):
     #: emitting corrupted state each round).  Conservative default for the
     #: same reason as ``supports_crash``.
     supports_byzantine: bool = False
+    #: Whether the adapter can build the array-backed kernel network
+    #: (``backend="array"``, see :mod:`repro.sim.array_kernel`).  Adapters
+    #: opting in must implement :meth:`build_array_network` and guarantee
+    #: byte-identical results against their object backend.
+    supports_array_backend: bool = False
 
     # -- abstract hooks --------------------------------------------------------
 
@@ -213,6 +229,13 @@ class ProtocolAdapter(abc.ABC):
         """Install an explicit initial spanning tree (adapters opting in)."""
         raise ConfigurationError(
             f"protocol {self.name!r} does not accept an explicit initial tree")
+
+    def build_array_network(self, graph: nx.Graph,
+                            config: ProtocolRunConfig) -> Network:
+        """Build the array-backed network (adapters with
+        ``supports_array_backend`` opt in)."""
+        raise ConfigurationError(
+            f"protocol {self.name!r} does not support the array backend")
 
     def extract_metrics(self, network: Network, report: SimulationReport,
                         config: ProtocolRunConfig) -> Dict[str, object]:

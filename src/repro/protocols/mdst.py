@@ -51,6 +51,9 @@ class MDSTProtocol(ProtocolAdapter):
     # state, so every adversary model is a tested axis.
     supports_crash = True
     supports_byzantine = True
+    # The array kernel reproduces the MDST node byte-for-byte (guarded by
+    # the E2 md5 anchors and the object≡array hypothesis property).
+    supports_array_backend = True
 
     @staticmethod
     def _mdst_config(config: ProtocolRunConfig) -> MDSTConfig:
@@ -70,6 +73,18 @@ class MDSTProtocol(ProtocolAdapter):
 
     def build_network(self, graph: nx.Graph, config: ProtocolRunConfig) -> Network:
         return build_mdst_network(graph, self._mdst_config(config))
+
+    def build_array_network(self, graph: nx.Graph,
+                            config: ProtocolRunConfig) -> Network:
+        from ..sim.array_kernel import build_array_mdst_network
+        cfg = self._mdst_config(config)
+        return build_array_mdst_network(
+            graph,
+            n_upper=cfg.n_upper or graph.number_of_nodes() + 1,
+            search_period=cfg.search_period,
+            deblock_cooldown=cfg.deblock_cooldown,
+            enable_reduction=cfg.enable_reduction,
+        )
 
     def prepare_initial(self, network: Network, config: ProtocolRunConfig,
                         rng: np.random.Generator) -> None:

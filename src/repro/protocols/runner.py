@@ -142,8 +142,24 @@ def run_protocol(graph: nx.Graph,
         if adversary.byzantine is not None and not adapter.supports_byzantine:
             raise ConfigurationError(
                 f"protocol {adapter.name!r} does not support Byzantine gossip")
+    if config.backend == "array":
+        # The array kernel freezes the topology at build time and owns the
+        # channel objects; live churn and adversary channel rewiring are
+        # object-backend features.
+        if not adapter.supports_array_backend:
+            raise ConfigurationError(
+                f"protocol {adapter.name!r} does not support the array backend")
+        if churn_plan is not None:
+            raise ConfigurationError(
+                "backend='array' does not support topology churn")
+        if adversary is not None:
+            raise ConfigurationError(
+                "backend='array' does not support adversary models")
     rng = np.random.default_rng(config.seed)
-    network = adapter.build_network(graph, config)
+    if config.backend == "array":
+        network = adapter.build_array_network(graph, config)
+    else:
+        network = adapter.build_network(graph, config)
     if initial_tree is not None:
         adapter.install_tree(network, initial_tree)
     else:
@@ -153,6 +169,10 @@ def run_protocol(graph: nx.Graph,
                                slow_links=config.slow_links,
                                max_delay=config.max_delay,
                                weights=config.node_weights)
+    if (config.backend == "array"
+            and scheduler.name == "synchronous"):
+        from ..sim.array_kernel import ArraySyncScheduler
+        scheduler = ArraySyncScheduler()
     trace = TraceRecorder(keep_events=config.keep_trace_events,
                           network_size=graph.number_of_nodes())
     simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,

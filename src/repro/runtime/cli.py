@@ -107,6 +107,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     _check_churn_protocols(args, [args.protocol])
     _check_adversary_flags(args)
     _check_adversary_protocols(args, [args.protocol])
+    _check_backend_flags(args, [args.protocol])
     spec = RunSpec(
         task=args.task,
         protocol=args.protocol,
@@ -130,6 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         byzantine_count=args.byzantine_count,
         byzantine_start=args.byzantine_start,
         byzantine_rounds=args.byzantine_rounds,
+        backend=args.backend,
     )
     outcome = execute_spec(spec)
     if args.json:
@@ -233,6 +235,31 @@ def _check_adversary_protocols(args: argparse.Namespace,
                 f"{', '.join(capable_names(flag))}")
 
 
+def _check_backend_flags(args: argparse.Namespace,
+                         protocols: Sequence[str]) -> None:
+    """Early validation of ``--backend`` (see :func:`_check_churn_flags`).
+
+    The array kernel freezes the topology at build time and owns the
+    channel objects, so churn and adversary models remain object-backend
+    features; the runner enforces the same gating, but failing here keeps
+    the error a one-line CLI fix instead of a mid-sweep stack trace.
+    """
+    if args.backend == "object":
+        return
+    if args.task == "churn" or args.churn_rate > 0 or args.churn_events > 0:
+        raise ReproError("--backend array does not support topology churn")
+    if args.task == "adversary" or _adversary_flags_set(args):
+        raise ReproError("--backend array does not support adversary models")
+    unable = sorted(p for p in protocols
+                    if not getattr(PROTOCOLS[p], "supports_array_backend",
+                                   False))
+    if unable:
+        raise ReproError(
+            f"protocol(s) {', '.join(repr(p) for p in unable)} do not "
+            f"support the array backend; capable protocols: "
+            f"{', '.join(capable_names('supports_array_backend'))}")
+
+
 def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
     return SweepSpec(
         families=tuple(args.families),
@@ -259,6 +286,7 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
         byzantine_count=args.byzantine_count,
         byzantine_start=args.byzantine_start,
         byzantine_rounds=args.byzantine_rounds,
+        backend=args.backend,
     )
 
 
@@ -270,6 +298,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _check_churn_protocols(args, args.protocols)
     _check_adversary_flags(args)
     _check_adversary_protocols(args, args.protocols)
+    _check_backend_flags(args, args.protocols)
     sweep = _sweep_from_args(args)
     specs = sweep.expand()
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -447,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--churn-events", type=int, default=0,
                      help="total scheduled topology events")
     _add_adversary_flags(run)
+    run.add_argument("--backend", default="object",
+                     choices=("object", "array"),
+                     help="simulation kernel: per-object message passing "
+                          "or the vectorized array kernel (byte-identical "
+                          "results, much faster at large n)")
     run.add_argument("--json", action="store_true",
                      help="print the full outcome as JSON instead of a table")
     run.set_defaults(func=cmd_run)
@@ -481,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--churn-events", type=int, default=0,
                        help="total scheduled topology events per run")
     _add_adversary_flags(sweep)
+    sweep.add_argument("--backend", default="object",
+                       choices=("object", "array"),
+                       help="simulation kernel for every run of the matrix "
+                            "(byte-identical results; 'array' is the "
+                            "vectorized large-n kernel)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial fallback; "
                             f"this machine's default would be {default_workers()})")

@@ -48,7 +48,11 @@ __all__ = ["RunSpec", "SweepSpec", "spec_key", "CACHE_SCHEMA_VERSION"]
 #: 4: RunSpec grew the adversary axis (``loss_rate``/``dup_rate``/
 #: ``reorder_rate``/``crash_*``/``byzantine_*``); legacy dicts without the
 #: new keys deserialize to the adversary-free defaults.
-CACHE_SCHEMA_VERSION = 4
+#: 5: RunSpec grew the ``backend`` field (object vs array simulation
+#: kernel); legacy dicts without the key deserialize to ``"object"``.  The
+#: backends are byte-identical, but the key must still distinguish them so
+#: per-backend timing rows (throughput, benchmarks) never alias.
+CACHE_SCHEMA_VERSION = 5
 
 #: Stream index for deriving a run's churn-plan seed from its master seed
 #: (decoupled from the repetition streams used by :class:`SweepSpec`).
@@ -106,6 +110,13 @@ class RunSpec:
         When ``byzantine_count > 0``, that many seeded-random nodes emit
         corrupted gossip every round of the ``byzantine_rounds``-round
         window opening after ``byzantine_start``.
+    backend:
+        Simulation kernel backend, ``"object"`` or ``"array"`` (flat numpy
+        state columns with vectorized synchronous rounds, see
+        :mod:`repro.sim.array_kernel`).  Results are byte-identical across
+        backends; the field is seed-free and only changes how rounds are
+        executed, but it is part of the cache key so per-backend timing
+        rows never alias.
     params:
         Task-specific extras as a sorted tuple of ``(key, value)`` pairs so
         the spec stays hashable; use :meth:`param` to read them.
@@ -135,6 +146,7 @@ class RunSpec:
     byzantine_count: int = 0
     byzantine_start: int = 10
     byzantine_rounds: int = 20
+    backend: str = "object"
     params: Tuple[Tuple[str, object], ...] = ()
 
     # -- derived views ---------------------------------------------------------
@@ -211,8 +223,9 @@ class RunSpec:
     def label(self) -> str:
         protocol = "" if self.protocol == "mdst" else f"{self.protocol}:"
         adv = "-adv" if self.adversary_enabled else ""
+        backend = "" if self.backend == "object" else f"-{self.backend}"
         return (f"{self.task}:{protocol}{self.family}-n{self.n}-s{self.seed}"
-                f"-{self.scheduler}-{self.initial}{adv}")
+                f"-{self.scheduler}-{self.initial}{adv}{backend}")
 
     def param(self, key: str, default: object = None) -> object:
         """Read a task-specific parameter from :attr:`params`."""
@@ -243,6 +256,7 @@ class RunSpec:
             stability_window=self.stability_window,
             enable_reduction=self.enable_reduction,
             node_weights={int(v): int(w) for v, w in weights} if weights else None,
+            backend=self.backend,
         )
 
     def protocol_run_config(self) -> ProtocolRunConfig:
@@ -264,6 +278,7 @@ class RunSpec:
             max_rounds=self.max_rounds,
             stability_window=self.stability_window,
             node_weights={int(v): int(w) for v, w in weights} if weights else None,
+            backend=self.backend,
         )
         if self.protocol == "mdst":
             config.options["enable_reduction"] = self.enable_reduction
@@ -297,6 +312,7 @@ class RunSpec:
             "byzantine_count": self.byzantine_count,
             "byzantine_start": self.byzantine_start,
             "byzantine_rounds": self.byzantine_rounds,
+            "backend": self.backend,
             "params": [list(item) for item in self.params],
         }
 
@@ -345,7 +361,8 @@ class SweepSpec:
     adversary knobs (``loss_rate``/``dup_rate``/``reorder_rate``/
     ``crash_*``/``byzantine_*``) are forwarded verbatim to every expanded
     :class:`RunSpec`, so one sweep can put every protocol through the same
-    transient-fault, topology-churn or adversary scenario.
+    transient-fault, topology-churn or adversary scenario.  ``backend``
+    selects the simulation kernel for every expanded run.
     """
 
     families: Tuple[str, ...] = ("erdos_renyi_sparse",)
@@ -372,6 +389,7 @@ class SweepSpec:
     byzantine_count: int = 0
     byzantine_start: int = 10
     byzantine_rounds: int = 20
+    backend: str = "object"
 
     def seed_for(self, repetition: int) -> int:
         if self.seeds:
@@ -423,5 +441,6 @@ class SweepSpec:
                                     byzantine_count=self.byzantine_count,
                                     byzantine_start=self.byzantine_start,
                                     byzantine_rounds=self.byzantine_rounds,
+                                    backend=self.backend,
                                 ))
         return specs

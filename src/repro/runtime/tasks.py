@@ -167,10 +167,11 @@ def _require_mdst(spec: RunSpec) -> None:
 def _identify(spec: RunSpec, graph) -> Dict[str, object]:
     """The leading identity columns shared by the protocol-style rows.
 
-    The ``protocol`` column appears only for non-default protocols: the
-    E1-E8 reproduction tables predate the registry and their rows are
-    verified byte-identical across refactors, so the default MDST rows
-    must keep their exact historical shape.
+    The ``protocol`` and ``backend`` columns appear only for non-default
+    values: the E1-E8 reproduction tables predate the registry and the
+    array kernel, and their rows are verified byte-identical across
+    refactors, so the default MDST/object rows must keep their exact
+    historical shape.
     """
     row: Dict[str, object] = {
         "family": spec.family,
@@ -182,6 +183,8 @@ def _identify(spec: RunSpec, graph) -> Dict[str, object]:
     }
     if spec.protocol != "mdst":
         row["protocol"] = spec.protocol
+    if spec.backend != "object":
+        row["backend"] = spec.backend
     return row
 
 
@@ -405,14 +408,29 @@ def run_throughput_task(spec: RunSpec) -> RunOutcome:
     a fixed round budget.  The engine never caches these rows (see
     :data:`UNCACHEABLE_TASKS`) -- a cached wall-clock measurement would
     masquerade as a fresh one.
+
+    Params: ``profile`` (int, default 0) -- when positive, the run executes
+    under :mod:`cProfile` and the row grows a ``profile_top`` column with
+    that many hottest functions by cumulative time (who-is-slow triage for
+    kernel work, e.g. ``spec.with_params(profile=25)``).  Profiled
+    timings carry interpreter tracing overhead and are *not* comparable to
+    unprofiled rows; the column exists for ranking, not for rates.
     """
     graph = spec.build_graph()
     config = spec.protocol_run_config()
     adversary = _adversary(spec)
+    profile_top = int(spec.param("profile", 0))
+    profiler = None
+    if profile_top > 0:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     start = time.perf_counter()
     result = run_protocol(graph, config, fault_plan=_fault_plan(spec),
                           adversary=adversary)
     seconds = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
     row = _identify(spec, graph)
     row.update({
         "max_rounds": spec.max_rounds,
@@ -422,6 +440,19 @@ def run_throughput_task(spec: RunSpec) -> RunOutcome:
         "seconds": round(seconds, 4),
         "rounds_per_sec": round(result.rounds / seconds, 2) if seconds > 0 else 0.0,
     })
+    if profiler is not None:
+        import pstats
+        stats = pstats.Stats(profiler)
+        entries = sorted(
+            ((func, nc, ct, tt) for func, (_cc, nc, tt, ct, _callers)
+             in stats.stats.items()),
+            key=lambda item: item[2], reverse=True)
+        row["profile_top"] = [
+            {"function": f"{func[0]}:{func[1]}({func[2]})",
+             "ncalls": nc,
+             "cumtime": round(ct, 4),
+             "tottime": round(tt, 4)}
+            for func, nc, ct, tt in entries[:profile_top]]
     return RunOutcome(spec=spec, row=row, record=_record_for(spec, graph, result))
 
 

@@ -1,0 +1,1535 @@
+"""Array-backed vectorized kernel backend for large-``n`` runs.
+
+The object-per-node simulator pays an interpreter-level constant for every
+message delivery and every rule evaluation; at n >= 256 that constant is the
+throughput ceiling (BENCH_scaling.json).  This module provides the
+``backend="array"`` alternative behind the *same*
+:class:`~repro.sim.network.Network` / :class:`~repro.sim.scheduler.Scheduler`
+contracts:
+
+* **Topology** lives in a CSR adjacency structure (built through
+  :mod:`scipy.sparse` when available): ``indptr``/``nbr_idx``/``nbr_ids``
+  arrays over the sorted node ids, plus a flat edge -> view-row index shared
+  by every vectorized pass.
+* **Node state** is a set of flat numpy columns -- one per slotted
+  :class:`~repro.core.state.MDSTState` field (``root``, ``parent``,
+  ``distance``, ``sub_max``, ``dmax``, ``color``) -- and the cached
+  neighbour views are columns over the flat edge positions (one per
+  :class:`~repro.core.state.NeighborState` field).
+* **Correctness is by construction, not by re-implementation**: every node
+  is a real :class:`~repro.core.node_algorithm.MDSTNode` whose state object
+  merely *reads and writes the shared columns*
+  (:class:`ArrayBackedState` / :class:`NeighborProxy`).  The control layers
+  (Search/Remove/Back/Deblock/Reverse/UpdateDist), fault injection
+  (``corrupt``), the initial-configuration installers, the monitors and
+  every non-synchronous scheduler therefore run the *identical* algorithm
+  code against array storage -- the vectorized fast path below is an
+  optimization of the synchronous round only, and any configuration it does
+  not cover falls back to the shared scalar code path.
+* **The synchronous round is batched** (:meth:`ArrayNetwork.run_sync_round`):
+  the round-start ``MInfo`` backlog is applied as vectorized per-slot
+  scatter writes followed by one vectorized rule evaluation per slot
+  (sequential per-message semantics are preserved: slot ``j`` applies the
+  ``j``-th delivery of every destination, exactly the per-destination order
+  of :meth:`~repro.sim.scheduler.Scheduler._deliver_round_start_backlog`),
+  the spanning-tree rules R1/R2/R3 and the PIF degree layer are evaluated
+  with CSR segment reductions (``np.ufunc.reduceat``), and the
+  legitimacy-relevant predicate columns (``locally_stabilized``) come out of
+  the same pass.  Control messages stay scalar -- they are rare by design
+  (the gossip is the O(m)-per-round traffic).
+
+Byte identity with the object backend is part of the contract and is
+enforced by tests: identical final snapshots, rounds, per-node step counts,
+message/delivery/type counters and report rows for every supported
+configuration (see ``tests/test_array_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.messages import MInfo
+from ..core.node_algorithm import MDSTNode
+from ..exceptions import SimulationError
+from ..types import NodeId
+from .channel import Channel
+from .network import EnabledEvents, Network
+from .scheduler import RoundStats, SynchronousScheduler
+from .trace import TraceRecorder
+
+__all__ = [
+    "ArrayChannel",
+    "ArrayKernel",
+    "ArrayBackedState",
+    "ArrayMDSTNode",
+    "ArrayNetwork",
+    "ArraySyncScheduler",
+    "build_array_mdst_network",
+]
+
+_I64 = np.int64
+_INT_MAX = np.iinfo(np.int64).max
+
+
+def _minfo_bits_for(network_size: int) -> int:
+    """Wire size of one gossip ``MInfo`` (constant per run)."""
+    return MInfo(root=0, parent=0, distance=0, degree=0, sub_max=0,
+                 dmax=0, color=False).size_bits(network_size)
+
+
+def _build_csr(graph: nx.Graph, node_ids: List[NodeId]):
+    """CSR adjacency (indptr, neighbour indices, neighbour ids) over sorted ids.
+
+    Goes through :mod:`scipy.sparse` when available (the exemplar layout --
+    APGL's sparse-matrix graphs); otherwise assembles the same arrays
+    directly.  Neighbour lists come out sorted by id either way, matching
+    the insertion order of the object backend's per-node view dicts.
+    """
+    n = len(node_ids)
+    index = {v: i for i, v in enumerate(node_ids)}
+    try:  # pragma: no cover - exercised when scipy is installed (CI lane)
+        from scipy.sparse import csr_matrix
+
+        rows, cols = [], []
+        for u, v in graph.edges:
+            ui, vi = index[u], index[v]
+            rows.append(ui)
+            cols.append(vi)
+            rows.append(vi)
+            cols.append(ui)
+        data = np.ones(len(rows), dtype=np.int8)
+        adj = csr_matrix((data, (rows, cols)), shape=(n, n))
+        adj.sort_indices()
+        indptr = adj.indptr.astype(_I64)
+        nbr_idx = adj.indices.astype(_I64)
+    except ImportError:
+        counts = np.zeros(n + 1, dtype=_I64)
+        for u, v in graph.edges:
+            counts[index[u] + 1] += 1
+            counts[index[v] + 1] += 1
+        indptr = np.cumsum(counts).astype(_I64)
+        nbr_idx = np.zeros(int(indptr[-1]), dtype=_I64)
+        cursor = indptr[:-1].copy()
+        for u, v in graph.edges:
+            ui, vi = index[u], index[v]
+            nbr_idx[cursor[ui]] = vi
+            cursor[ui] += 1
+            nbr_idx[cursor[vi]] = ui
+            cursor[vi] += 1
+        for i in range(n):
+            seg = nbr_idx[indptr[i]:indptr[i + 1]]
+            seg.sort()
+    ids = np.asarray(node_ids, dtype=_I64)
+    nbr_ids = ids[nbr_idx]
+    return index, indptr, nbr_idx, nbr_ids
+
+
+class ArrayKernel:
+    """The shared column store: CSR topology plus flat state columns.
+
+    One instance backs every :class:`ArrayBackedState` of a network; the
+    vectorized round operates on these columns directly.
+    """
+
+    def __init__(self, graph: nx.Graph, n_upper: int):
+        self.node_ids: List[NodeId] = sorted(graph.nodes)
+        self.n = len(self.node_ids)
+        self.n_upper = int(n_upper)
+        self.index, self.indptr, self.nbr_idx, self.nbr_ids = _build_csr(
+            graph, self.node_ids)
+        self.ids = np.asarray(self.node_ids, dtype=_I64)
+        total = int(self.indptr[-1])
+        self.total = total
+        #: id of the owning node for every flat view row.
+        self.row_owner = np.repeat(
+            self.ids, np.diff(self.indptr).astype(_I64))
+        # -- own-state columns (MDSTState slots) --------------------------------
+        self.root = self.ids.copy()
+        self.parent = self.ids.copy()
+        self.distance = np.zeros(self.n, dtype=_I64)
+        self.sub_max = np.zeros(self.n, dtype=_I64)
+        self.dmax = np.zeros(self.n, dtype=_I64)
+        self.color = np.ones(self.n, dtype=bool)
+        # -- view columns (NeighborState slots), one row per directed edge ------
+        self.v_root = np.zeros(total, dtype=_I64)
+        self.v_parent = np.zeros(total, dtype=_I64)
+        self.v_distance = np.zeros(total, dtype=_I64)
+        self.v_degree = np.zeros(total, dtype=_I64)
+        self.v_sub_max = np.zeros(total, dtype=_I64)
+        self.v_dmax = np.zeros(total, dtype=_I64)
+        self.v_color = np.ones(total, dtype=bool)
+        self.v_heard = np.zeros(total, dtype=bool)
+        # -- scratch written by the vectorized passes ---------------------------
+        self.degree = np.zeros(self.n, dtype=_I64)
+        self.locally_stab = np.zeros(self.n, dtype=bool)
+        # -- gossip snapshot columns --------------------------------------------
+        # The state each node last gossiped (copied at the end of the
+        # vectorized timeout phase).  A gossip *token* on a channel stands
+        # for "the MInfo ``src`` sent last round" and resolves against these
+        # columns, so the synchronous fast path never builds message objects
+        # for the O(m)-per-round gossip traffic.
+        self.g_root = np.zeros(self.n, dtype=_I64)
+        self.g_parent = np.zeros(self.n, dtype=_I64)
+        self.g_distance = np.zeros(self.n, dtype=_I64)
+        self.g_degree = np.zeros(self.n, dtype=_I64)
+        self.g_sub_max = np.zeros(self.n, dtype=_I64)
+        self.g_dmax = np.zeros(self.n, dtype=_I64)
+        self.g_color = np.zeros(self.n, dtype=bool)
+        #: node *index* (not id) of the neighbour at each flat view row.
+        self.nbr_node_idx = np.searchsorted(self.ids, self.nbr_ids)
+        # -- flat position lookup -----------------------------------------------
+        # (owner index, neighbour id) -> flat row, as a sorted key array so a
+        # batch of parent pointers resolves with one searchsorted.  Keys are
+        # offset to stay non-negative for every value a (possibly corrupted)
+        # pointer can take.
+        lo = int(min(self.ids.min(initial=0), -5)) - 1
+        hi = int(max(self.ids.max(initial=0), self.n_upper + 5)) + 1
+        self._key_off = -lo
+        self._key_mod = hi - lo + 1
+        owner_idx = np.repeat(np.arange(self.n, dtype=_I64),
+                              np.diff(self.indptr).astype(_I64))
+        self.flat_keys = owner_idx * self._key_mod + (self.nbr_ids + self._key_off)
+        #: scalar-path lookup ``(owner id, neighbour id) -> flat row``.
+        self.pos: Dict[Tuple[NodeId, NodeId], int] = {}
+        for i, v in enumerate(self.node_ids):
+            for f in range(int(self.indptr[i]), int(self.indptr[i + 1])):
+                self.pos[(v, int(self.nbr_ids[f]))] = f
+        self._full_flat = np.arange(total, dtype=_I64)
+        self._full_starts = self.indptr[:-1].astype(np.intp)
+        self._all_idx = np.arange(self.n, dtype=_I64)
+        self._row_counts = np.diff(self.indptr).astype(_I64)
+
+    # -- flat-row geometry -----------------------------------------------------
+
+    def rows_of(self, S: np.ndarray):
+        """Flat view rows of the node-index subset ``S`` plus segment starts.
+
+        Returns ``(flat, starts, counts)`` where ``flat`` concatenates each
+        node's CSR segment (neighbour-id order) and ``starts`` indexes the
+        segment boundaries inside ``flat`` -- the shape every
+        ``ufunc.reduceat`` segment reduction below consumes.
+        """
+        if len(S) == self.n:
+            return self._full_flat, self._full_starts, self._row_counts
+        counts = (self.indptr[S + 1] - self.indptr[S]).astype(_I64)
+        total = int(counts.sum())
+        starts = np.zeros(len(S), dtype=_I64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        flat = (np.repeat(self.indptr[S] - starts, counts)
+                + np.arange(total, dtype=_I64))
+        return flat, starts.astype(np.intp), counts
+
+    def parent_rows(self, S: np.ndarray, parents: np.ndarray):
+        """Flat view row of each node's parent pointer (or -1 when absent).
+
+        ``parents`` may hold arbitrary (corrupted) integers; anything that is
+        not a current neighbour id of the owning node resolves to -1, the
+        vector analogue of ``state.view.get(parent) is None``.
+        """
+        shifted = parents + self._key_off
+        in_range = (shifted >= 0) & (shifted < self._key_mod)
+        qkeys = S * self._key_mod + np.where(in_range, shifted, 0)
+        pos = np.searchsorted(self.flat_keys, qkeys)
+        pos_c = np.minimum(pos, self.total - 1)
+        valid = in_range & (pos < self.total) & (self.flat_keys[pos_c] == qkeys)
+        return np.where(valid, pos_c, -1), valid
+
+    # -- vectorized rule evaluation --------------------------------------------
+
+    def refresh(self, S: np.ndarray, predicates: bool = False) -> None:
+        """Vectorized ``MDSTNode._refresh`` over the node-index subset ``S``.
+
+        Applies the spanning-tree rules R2 -> R1 -> R3 and the fused degree
+        layer exactly as :meth:`~repro.core.node_algorithm.MDSTNode.
+        _apply_tree_rules` / ``_update_degree_layer`` do per node, writing
+        the state columns in place.  With ``predicates=True`` the pass also
+        refreshes :attr:`locally_stab` (the reduction-layer gate) for ``S``.
+
+        The rule order licenses two simplifications the scalar code pays for
+        per node: after R2 no node is a new-root candidate, and every node
+        R1 or R2 touched has a coherent distance -- so R3 applies exactly to
+        the untouched nodes whose *original* distance was incoherent.
+
+        When ``S`` covers a large fraction of the network the pass computes
+        over the *full* columns in place (no gather of the subset's view
+        rows -- the per-row results are independent, so computing the extra
+        rows is cheaper than building the subset geometry) and writes back
+        only the rows of ``S``.
+        """
+        if self.total == 0 or len(S) == 0:
+            return
+        n_upper = self.n_upper
+        rep = np.repeat  # segment broadcast helper
+        dense = 4 * len(S) >= self.n
+        if dense:
+            # Full-column geometry: the view arrays are read uncopied.
+            idx = self._all_idx
+            starts = self._full_starts
+            counts = self._row_counts
+            me = self.ids
+            r = self.root.copy()
+            p = self.parent.copy()
+            d = self.distance.copy()
+            vr = self.v_root
+            vp = self.v_parent
+            vd = self.v_distance
+            vh = self.v_heard
+            nbr = self.nbr_ids
+            vsub = self.v_sub_max
+            vdm = self.v_dmax
+            vcol = self.v_color
+        else:
+            idx = S
+            flat, starts, counts = self.rows_of(S)
+            me = self.ids[S]
+            r = self.root[S].copy()
+            p = self.parent[S].copy()
+            d = self.distance[S].copy()
+            vr = self.v_root[flat]
+            vp = self.v_parent[flat]
+            vd = self.v_distance[flat]
+            vh = self.v_heard[flat]
+            nbr = self.nbr_ids[flat]
+            vsub = self.v_sub_max[flat]
+            vdm = self.v_dmax[flat]
+            vcol = self.v_color[flat]
+
+        # -- coherence of the original state (feeds R2 and R3) ----------------
+        prow, pvalid = self.parent_rows(idx, p)
+        prow_c = np.maximum(prow, 0)
+        pvh = np.where(pvalid, self.v_heard[prow_c], False)
+        pvr = np.where(pvalid, self.v_root[prow_c], 0)
+        pvd = np.where(pvalid, self.v_distance[prow_c], 0)
+        self_parent = p == me
+        cp = np.where(r > me, False,
+                      np.where(self_parent, (r == me) & (d == 0),
+                               pvalid & (~pvh | (pvr == r))))
+        cd = np.where(d >= n_upper, False,
+                      np.where(self_parent, d == 0,
+                               pvalid & (~pvh | (d == pvd + 1))))
+        ncr = ~cp | (d >= n_upper)
+
+        # -- R2: reset to a fresh root -----------------------------------------
+        r = np.where(ncr, me, r)
+        p = np.where(ncr, me, p)
+        d = np.where(ncr, 0, d)
+
+        # -- R1: adopt the best smaller-root neighbour -------------------------
+        cand = vh & (vr < rep(r, counts)) & (vd + 1 < n_upper)
+        br = np.minimum.reduceat(np.where(cand, vr, _INT_MAX), starts)
+        fired1 = br < _INT_MAX
+        best = np.minimum.reduceat(
+            np.where(cand & (vr == rep(br, counts)), nbr, _INT_MAX), starts)
+        best_d = np.minimum.reduceat(
+            np.where(cand & (vr == rep(br, counts)) & (nbr == rep(best, counts)),
+                     vd, _INT_MAX), starts)
+        r = np.where(fired1, br, r)
+        p = np.where(fired1, best, p)
+        d = np.where(fired1, best_d + 1, d)
+
+        # -- R3: gentle distance repair on the untouched incoherent nodes ------
+        fire3 = ~ncr & ~fired1 & ~cd
+        if fire3.any():
+            d = np.where(fire3, pvd + 1, d)
+            reset = fire3 & (d >= n_upper)
+            r = np.where(reset, me, r)
+            p = np.where(reset, me, p)
+            d = np.where(reset, 0, d)
+
+        # -- fused degree layer (degree, sub_max, dmax, color) -----------------
+        child = vh & (vp == rep(me, counts))
+        pmask = (~child) & (rep(p, counts) == nbr)
+        degree = np.add.reduceat((child | pmask).astype(_I64), starts)
+        child_max = np.maximum.reduceat(
+            np.where(child, vsub, np.int64(-1)), starts)
+        sub_max = np.maximum(degree, child_max)
+        prow, pvalid = self.parent_rows(idx, p)
+        prow_c = np.maximum(prow, 0)
+        pvh = np.where(pvalid, self.v_heard[prow_c], False)
+        pvdm = np.where(pvalid, self.v_dmax[prow_c], 0)
+        dmax = np.where(p == me, sub_max, np.where(pvh, pvdm, sub_max))
+        color = ~np.logical_or.reduceat(
+            vh & (vdm != rep(dmax, counts)), starts)
+
+        if predicates:
+            # locally_stabilized = tree_stabilized & color & degree_stabilized
+            # & color_stabilized.  Post-rules every node has a coherent parent
+            # and distance, so tree_stabilized reduces to "no better parent";
+            # color equals degree_stabilized by construction (it was just set
+            # to it and nothing changed since).
+            bp = np.logical_or.reduceat(vh & (vr < rep(r, counts)), starts)
+            cstab = ~np.logical_or.reduceat(
+                vh & (vcol != rep(color, counts)), starts)
+            stab = ~bp & color & cstab
+
+        if dense and len(S) != self.n:
+            self.root[S] = r[S]
+            self.parent[S] = p[S]
+            self.distance[S] = d[S]
+            self.sub_max[S] = sub_max[S]
+            self.dmax[S] = dmax[S]
+            self.color[S] = color[S]
+            self.degree[S] = degree[S]
+            if predicates:
+                self.locally_stab[S] = stab[S]
+        elif dense:
+            self.root = r
+            self.parent = p
+            self.distance = d
+            self.sub_max = sub_max
+            self.dmax = dmax
+            self.color = color
+            self.degree = degree
+            if predicates:
+                self.locally_stab = stab
+        else:
+            self.root[S] = r
+            self.parent[S] = p
+            self.distance[S] = d
+            self.sub_max[S] = sub_max
+            self.dmax[S] = dmax
+            self.color[S] = color
+            self.degree[S] = degree
+            if predicates:
+                self.locally_stab[S] = stab
+
+    def compute_degrees(self, S: np.ndarray) -> np.ndarray:
+        """Tree degree of every node in ``S`` (the derived ``deg_v``)."""
+        if len(S) == 0:
+            return np.zeros(0, dtype=_I64)
+        if len(S) == self.n:
+            # Dense path: no gather, the full columns are read in place.
+            child = self.v_heard & (self.v_parent == self.row_owner)
+            pmask = (~child) & (np.repeat(self.parent, self._row_counts)
+                                == self.nbr_ids)
+            return np.add.reduceat((child | pmask).astype(_I64),
+                                   self._full_starts)
+        flat, starts, counts = self.rows_of(S)
+        child = self.v_heard[flat] & (self.v_parent[flat]
+                                      == np.repeat(self.ids[S], counts))
+        pmask = (~child) & (np.repeat(self.parent[S], counts)
+                            == self.nbr_ids[flat])
+        return np.add.reduceat((child | pmask).astype(_I64), starts)
+
+
+class NeighborProxy:
+    """A :class:`~repro.core.state.NeighborState` view over one flat row."""
+
+    __slots__ = ("_k", "_f")
+
+    def __init__(self, kernel: ArrayKernel, flat: int):
+        self._k = kernel
+        self._f = flat
+
+    # Getters convert to Python scalars so values flowing into messages,
+    # snapshots and JSON rows are indistinguishable from the object backend.
+    @property
+    def root(self) -> int:
+        return int(self._k.v_root[self._f])
+
+    @root.setter
+    def root(self, value) -> None:
+        self._k.v_root[self._f] = value
+
+    @property
+    def parent(self) -> int:
+        return int(self._k.v_parent[self._f])
+
+    @parent.setter
+    def parent(self, value) -> None:
+        self._k.v_parent[self._f] = value
+
+    @property
+    def distance(self) -> int:
+        return int(self._k.v_distance[self._f])
+
+    @distance.setter
+    def distance(self, value) -> None:
+        self._k.v_distance[self._f] = value
+
+    @property
+    def degree(self) -> int:
+        return int(self._k.v_degree[self._f])
+
+    @degree.setter
+    def degree(self, value) -> None:
+        self._k.v_degree[self._f] = value
+
+    @property
+    def sub_max(self) -> int:
+        return int(self._k.v_sub_max[self._f])
+
+    @sub_max.setter
+    def sub_max(self, value) -> None:
+        self._k.v_sub_max[self._f] = value
+
+    @property
+    def dmax(self) -> int:
+        return int(self._k.v_dmax[self._f])
+
+    @dmax.setter
+    def dmax(self, value) -> None:
+        self._k.v_dmax[self._f] = value
+
+    @property
+    def color(self) -> bool:
+        return bool(self._k.v_color[self._f])
+
+    @color.setter
+    def color(self, value) -> None:
+        self._k.v_color[self._f] = value
+
+    @property
+    def heard(self) -> bool:
+        return bool(self._k.v_heard[self._f])
+
+    @heard.setter
+    def heard(self, value) -> None:
+        self._k.v_heard[self._f] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"NeighborProxy(root={self.root}, parent={self.parent}, "
+                f"distance={self.distance}, degree={self.degree}, "
+                f"sub_max={self.sub_max}, dmax={self.dmax}, "
+                f"color={self.color}, heard={self.heard})")
+
+
+class ArrayViewMap:
+    """Dict-like per-node view (``{neighbour id -> NeighborProxy}``).
+
+    Iteration order is neighbour-id order, exactly the insertion order of
+    the object backend's ``{u: NeighborState() for u in sorted(...)}``.
+    """
+
+    __slots__ = ("_k", "_lo", "_nbrs", "_proxies", "_local")
+
+    def __init__(self, kernel: ArrayKernel, node_index: int):
+        self._k = kernel
+        self._lo = int(kernel.indptr[node_index])
+        hi = int(kernel.indptr[node_index + 1])
+        self._nbrs = tuple(int(u) for u in kernel.nbr_ids[self._lo:hi])
+        self._proxies = tuple(NeighborProxy(kernel, self._lo + i)
+                              for i in range(hi - self._lo))
+        self._local = {u: i for i, u in enumerate(self._nbrs)}
+
+    def __getitem__(self, u: NodeId) -> NeighborProxy:
+        return self._proxies[self._local[u]]
+
+    def get(self, u: NodeId, default=None):
+        i = self._local.get(u)
+        return self._proxies[i] if i is not None else default
+
+    def __contains__(self, u: NodeId) -> bool:
+        return u in self._local
+
+    def __iter__(self):
+        return iter(self._nbrs)
+
+    def __len__(self) -> int:
+        return len(self._nbrs)
+
+    def keys(self):
+        return self._nbrs
+
+    def values(self):
+        return self._proxies
+
+    def items(self):
+        return list(zip(self._nbrs, self._proxies))
+
+
+class ArrayBackedState:
+    """Drop-in :class:`~repro.core.state.MDSTState` over the shared columns.
+
+    Implements the full state API -- own-variable properties, the view
+    mapping, the derived tree queries, ``corrupt``/``state_bits``/
+    ``snapshot`` -- so the unmodified :class:`~repro.core.node_algorithm.
+    MDSTNode` logic runs against array storage.  The derived queries use
+    numpy over the node's CSR slice, which also speeds up the scalar
+    fallback paths (searches, removals) at high degree.
+    """
+
+    __slots__ = ("_k", "_i", "_lo", "_hi", "node_id", "neighbors", "n_upper",
+                 "view", "_nbr_arr")
+
+    def __init__(self, kernel: ArrayKernel, node_id: NodeId):
+        self._k = kernel
+        self._i = kernel.index[node_id]
+        self._lo = int(kernel.indptr[self._i])
+        self._hi = int(kernel.indptr[self._i + 1])
+        self.node_id = node_id
+        self.n_upper = kernel.n_upper
+        self.view = ArrayViewMap(kernel, self._i)
+        self.neighbors = self.view.keys()
+        self._nbr_arr = kernel.nbr_ids[self._lo:self._hi]
+
+    # -- own variables ---------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return int(self._k.root[self._i])
+
+    @root.setter
+    def root(self, value) -> None:
+        self._k.root[self._i] = value
+
+    @property
+    def parent(self) -> int:
+        return int(self._k.parent[self._i])
+
+    @parent.setter
+    def parent(self, value) -> None:
+        self._k.parent[self._i] = value
+
+    @property
+    def distance(self) -> int:
+        return int(self._k.distance[self._i])
+
+    @distance.setter
+    def distance(self, value) -> None:
+        self._k.distance[self._i] = value
+
+    @property
+    def sub_max(self) -> int:
+        return int(self._k.sub_max[self._i])
+
+    @sub_max.setter
+    def sub_max(self, value) -> None:
+        self._k.sub_max[self._i] = value
+
+    @property
+    def dmax(self) -> int:
+        return int(self._k.dmax[self._i])
+
+    @dmax.setter
+    def dmax(self, value) -> None:
+        self._k.dmax[self._i] = value
+
+    @property
+    def color(self) -> bool:
+        return bool(self._k.color[self._i])
+
+    @color.setter
+    def color(self, value) -> None:
+        self._k.color[self._i] = value
+
+    # -- derived quantities (vectorized over the CSR slice) --------------------
+
+    def _tree_mask(self) -> np.ndarray:
+        k = self._k
+        lo, hi = self._lo, self._hi
+        return ((k.parent[self._i] == self._nbr_arr)
+                | (k.v_heard[lo:hi]
+                   & (k.v_parent[lo:hi] == self.node_id)))
+
+    def is_tree_edge(self, u: NodeId) -> bool:
+        f = self.view._local.get(u)
+        if f is None:
+            return False
+        if int(self._k.parent[self._i]) == u:
+            return True
+        pos = self._lo + f
+        return bool(self._k.v_heard[pos]) and int(self._k.v_parent[pos]) == self.node_id
+
+    def tree_neighbors(self) -> list:
+        return [int(u) for u in self._nbr_arr[self._tree_mask()]]
+
+    def children(self) -> list:
+        k = self._k
+        lo, hi = self._lo, self._hi
+        mask = k.v_heard[lo:hi] & (k.v_parent[lo:hi] == self.node_id)
+        return [int(u) for u in self._nbr_arr[mask]]
+
+    @property
+    def degree(self) -> int:
+        return int(self._tree_mask().sum())
+
+    def non_tree_neighbors(self) -> list:
+        return [int(u) for u in self._nbr_arr[~self._tree_mask()]]
+
+    # -- dynamic topology (unsupported on the array backend) -------------------
+
+    def neighbor_added(self, neighbors, u: NodeId) -> None:
+        raise SimulationError(
+            "the array backend does not support live topology churn")
+
+    def neighbor_removed(self, neighbors, u: NodeId) -> None:
+        raise SimulationError(
+            "the array backend does not support live topology churn")
+
+    # -- corruption / accounting (byte-identical to MDSTState) -----------------
+
+    def corrupt(self, rng: np.random.Generator) -> None:
+        # Exactly the draw sequence of MDSTState.corrupt, scattered into
+        # the columns.
+        pool = list(self.neighbors) + [self.node_id,
+                                       int(rng.integers(-5, self.n_upper + 5))]
+        self.root = int(rng.choice(pool))
+        self.parent = int(rng.choice(list(self.neighbors) + [self.node_id]))
+        self.distance = int(rng.integers(0, max(2, self.n_upper)))
+        self.sub_max = int(rng.integers(0, max(2, self.n_upper)))
+        self.dmax = int(rng.integers(0, max(2, self.n_upper)))
+        self.color = bool(rng.integers(0, 2))
+        for view in self.view.values():
+            view.root = int(rng.choice(pool))
+            view.parent = int(rng.choice(pool))
+            view.distance = int(rng.integers(0, max(2, self.n_upper)))
+            view.degree = int(rng.integers(0, max(2, self.n_upper)))
+            view.sub_max = int(rng.integers(0, max(2, self.n_upper)))
+            view.dmax = int(rng.integers(0, max(2, self.n_upper)))
+            view.color = bool(rng.integers(0, 2))
+            view.heard = bool(rng.integers(0, 2))
+
+    def state_bits(self, network_size: int) -> int:
+        import math
+        idbits = max(1, math.ceil(math.log2(max(network_size, 2)))) + 1
+        own = 5 * idbits + 1
+        per_neighbor = 6 * idbits + 2
+        return own + per_neighbor * len(self.neighbors)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "parent": self.parent,
+            "distance": self.distance,
+            "degree": self.degree,
+            "sub_max": self.sub_max,
+            "dmax": self.dmax,
+            "color": self.color,
+        }
+
+
+class ArrayMDSTNode(MDSTNode):
+    """A real :class:`MDSTNode` whose state lives in the shared columns.
+
+    Every handler, predicate and corruption hook is inherited unchanged;
+    only the storage differs.  This is what makes the scalar fallback paths
+    of the array backend correct by construction.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, node_id: NodeId, neighbors: Sequence[NodeId],
+                 kernel: ArrayKernel, n_upper: int | None = None,
+                 search_period: int = 3, deblock_cooldown: int = 30,
+                 enable_reduction: bool = True):
+        super().__init__(node_id, neighbors, n_upper=n_upper,
+                         search_period=search_period,
+                         deblock_cooldown=deblock_cooldown,
+                         enable_reduction=enable_reduction)
+        # Swap the freshly built MDSTState for the column-backed one; the
+        # kernel columns are pre-initialised to the same starting values
+        # (root = parent = own id, distance 0, blank unheard views).
+        self.s = ArrayBackedState(kernel, node_id)
+
+    def locally_stabilized(self) -> bool:
+        """Vectorized twin of :meth:`MDSTNode.locally_stabilized`.
+
+        The predicate is pure, so evaluating its five clauses over the
+        node's CSR slice (instead of per-field proxy reads) returns the
+        identical boolean.  It gates every Search delivery, which makes it
+        the hottest scalar call of the array backend's sync fast path.
+        """
+        s = self.s
+        k = s._k
+        i = s._i
+        lo, hi = s._lo, s._hi
+        root = k.root[i]
+        d = k.distance[i]
+        me = self.node_id
+        # _new_root_candidate: incoherent parent or distance out of bounds.
+        if d >= s.n_upper or root > me:
+            return False
+        parent = k.parent[i]
+        if parent == me:
+            if root != me or d != 0:
+                return False
+        else:
+            j = s.view._local.get(int(parent))
+            if j is None:
+                return False
+            f = lo + j
+            if k.v_heard[f]:
+                # _coherent_parent and _coherent_distance.
+                if k.v_root[f] != root or d != k.v_distance[f] + 1:
+                    return False
+        if not k.color[i]:
+            return False
+        # _better_parent, _degree_stabilized and _color_stabilized, fused
+        # into one pass over the slice (color[i] is True here, so the color
+        # clause reduces to a heard neighbour voting False).
+        vh = k.v_heard[lo:hi]
+        bad = vh & ((k.v_root[lo:hi] < root)
+                    | (k.v_dmax[lo:hi] != k.dmax[i])
+                    | (~k.v_color[lo:hi]))
+        return not bad.any()
+
+
+#: The slot descriptor behind :attr:`Channel.stats`, used by
+#: :class:`ArrayChannel` to reach the raw counters under its lazy property.
+_RAW_STATS = Channel.__dict__["stats"]
+
+
+class ArrayChannel(Channel):
+    """A channel whose synchronous gossip traffic is *virtual*.
+
+    The vectorized round never touches channel queues for gossip: one
+    counter per source records how many gossip rounds it sent
+    (``ArrayNetwork._vg_sent_src``) and delivered, and an in-flight mask
+    says whether a token is logically queued right now.  This class makes
+    that bookkeeping observable through the ordinary :class:`Channel`
+    surface: ``stats`` lazily folds the per-source counters into the raw
+    :class:`~repro.sim.channel.ChannelStats`, and length/iteration include
+    the in-flight token.  Any operation that needs the physical queue
+    (an enqueue behind the token, a fault preload, a direct delivery)
+    first *materializes* the token into a real ``MInfo`` at its logical
+    position, so the scalar code path never observes virtual state.
+
+    ``max_queue_length`` is best-effort on the fast path (a queue that only
+    ever carried virtual gossip reports 1); per-channel queue-depth peaks
+    are not part of the byte-identity contract (no run-result field reads
+    them), while ``sent``/``delivered``/``max_message_bits`` stay exact.
+    """
+
+    __slots__ = ("_net", "_src_i", "_vs_base", "_vd_base")
+
+    def __init__(self, src: NodeId, dst: NodeId, network_size: int,
+                 net: "ArrayNetwork", src_i: int):
+        super().__init__(src, dst, network_size=network_size)
+        self._net = net
+        self._src_i = src_i
+        self._vs_base = 0
+        self._vd_base = 0
+
+    @property
+    def stats(self):
+        # Deltas are clamped to >= 0 independently: a materialized channel
+        # carries a *lookahead* delivered base (the round trip completes as
+        # a physical delivery instead), so its delivered base may run one
+        # ahead of the per-source counter until the next drain.
+        st = _RAW_STATS.__get__(self)
+        net = self._net
+        i = self._src_i
+        vs = int(net._vg_sent_src[i])
+        if vs > self._vs_base:
+            st.sent += vs - self._vs_base
+            self._vs_base = vs
+            if st.max_queue_length < 1:
+                st.max_queue_length = 1
+            bits = net._minfo_bits
+            if bits > st.max_message_bits:
+                st.max_message_bits = bits
+        vd = int(net._vg_del_src[i])
+        if vd > self._vd_base:
+            st.delivered += vd - self._vd_base
+            self._vd_base = vd
+        return st
+
+    @stats.setter
+    def stats(self, value):
+        _RAW_STATS.__set__(self, value)
+
+    def _virtual(self) -> bool:
+        """Whether this channel logically holds an in-flight gossip token."""
+        net = self._net
+        return (bool(net._vg_inflight[self._src_i])
+                and (self.src, self.dst) not in net._vg_mat)
+
+    def _enqueue(self, message, index=None) -> None:
+        if self._virtual():
+            self._net._materialize_channel(self, front=True)
+        super()._enqueue(message, index)
+
+    def deliver(self):
+        if self._virtual():
+            self._net._materialize_channel(self, front=True)
+        return super().deliver()
+
+    def peek(self):
+        if self._virtual():
+            return self._net._gossip_minfo(self._src_i)
+        return super().peek()
+
+    def preload(self, messages) -> None:
+        if self._virtual():
+            self._net._materialize_channel(self, front=True)
+        super().preload(messages)
+
+    def clear(self) -> int:
+        if self._virtual():
+            self._net._materialize_channel(self, front=True)
+        return super().clear()
+
+    def __len__(self) -> int:
+        return len(self._queue) + (1 if self._virtual() else 0)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue) or self._virtual()
+
+    def __iter__(self):
+        if self._virtual():
+            yield self._net._gossip_minfo(self._src_i)
+        yield from self._queue
+
+
+class ArrayNetwork(Network):
+    """A :class:`~repro.sim.network.Network` whose nodes share array state.
+
+    Subclasses the object kernel rather than duck-typing it: channels,
+    enabled-event tracking, dirty-set snapshot caches, quiescence and the
+    whole monitor/fault stack are inherited and therefore behave (and
+    count) identically.  What changes is (a) node state storage and (b) the
+    vectorized synchronous round (:meth:`run_sync_round`) that
+    :class:`ArraySyncScheduler` drives.  Live topology mutation is rejected:
+    the flat layout is frozen at construction.
+    """
+
+    def __init__(self, graph: nx.Graph, *, n_upper: int,
+                 search_period: int = 3, deblock_cooldown: int = 30,
+                 enable_reduction: bool = True):
+        self.kernel = ArrayKernel(graph, n_upper)
+        self._enable_reduction = enable_reduction
+        kernel = self.kernel
+        #: All MInfo gossip is the same shape, so its bit size is a per-run
+        #: constant; computing it once keeps it off the batched hot path.
+        self._minfo_bits: int = _minfo_bits_for(kernel.n)
+        # -- virtual gossip token state (read by ArrayChannel) ------------------
+        #: Gossip rounds each source has sent / has had delivered; the
+        #: difference, folded lazily into per-channel stats, is the number of
+        #: tokens that never physically existed on that source's channels.
+        self._vg_sent_src = np.zeros(kernel.n, dtype=_I64)
+        self._vg_del_src = np.zeros(kernel.n, dtype=_I64)
+        #: Whether each source's gossip token of the current round is still
+        #: logically in flight on all of its out-channels.
+        self._vg_inflight = np.zeros(kernel.n, dtype=bool)
+        #: Channel keys whose in-flight token has been materialized *alone*
+        #: (the rest of the source's channels stay virtual): the token is
+        #: physically queued there and no longer counts as virtual presence.
+        self._vg_mat: set = set()
+
+        def factory(node_id: NodeId, neighbors: Sequence[NodeId]) -> ArrayMDSTNode:
+            return ArrayMDSTNode(node_id, neighbors, kernel, n_upper=n_upper,
+                                 search_period=search_period,
+                                 deblock_cooldown=deblock_cooldown,
+                                 enable_reduction=enable_reduction)
+
+        super().__init__(graph, factory)
+        #: Lazily built per-node channel lists for the sync fast path.
+        self._sync_structs_cache = None
+        #: ``snapshot_key`` cache: ``(version, key)`` over the state columns.
+        self._acols_key_cache = None
+
+    def _install_channel(self, key) -> Channel:
+        """Create an :class:`ArrayChannel` (virtual-gossip aware)."""
+        src, dst = key
+        channel = ArrayChannel(src, dst, self.n, self,
+                               int(self.kernel.index[src]))
+        channel.watch(self._channel_changed)
+        if self._channel_model is not None:
+            channel.set_model(self._channel_model)
+        self._channel_order[key] = self._channel_seq
+        self._channel_seq += 1
+        self.channels[key] = channel
+        return channel
+
+    # -- dynamic topology is rejected ------------------------------------------
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        raise SimulationError(
+            "the array backend does not support live topology churn")
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        raise SimulationError(
+            "the array backend does not support live topology churn")
+
+    def add_node(self, v: NodeId, neighbors=()):
+        raise SimulationError(
+            "the array backend does not support live topology churn")
+
+    def remove_node(self, v: NodeId):
+        raise SimulationError(
+            "the array backend does not support live topology churn")
+
+    # -- vectorized snapshot refresh -------------------------------------------
+
+    def _refresh_dirty(self) -> None:
+        """Vectorize the derived-degree part of the dirty-set refresh.
+
+        The object backend pays O(deg) per dirty node to derive ``deg_v``;
+        here one segment reduction covers the whole dirty set, and the
+        per-node dict compare/build matches the parent class exactly.
+        """
+        dirty = self._dirty
+        if not dirty:
+            return
+        k = self.kernel
+        order = sorted(dirty)
+        S = np.fromiter((k.index[v] for v in order), dtype=_I64,
+                        count=len(order))
+        degs = k.compute_degrees(S)
+        roots = k.root[S].tolist()
+        parents = k.parent[S].tolist()
+        dists = k.distance[S].tolist()
+        subs = k.sub_max[S].tolist()
+        dmaxs = k.dmax[S].tolist()
+        colors = k.color[S].tolist()
+        degl = degs.tolist()
+        node_snaps = self._node_snaps
+        from types import MappingProxyType
+        for j, v in enumerate(order):
+            snap = {"root": roots[j], "parent": parents[j],
+                    "distance": dists[j], "degree": degl[j],
+                    "sub_max": subs[j], "dmax": dmaxs[j], "color": colors[j]}
+            if node_snaps.get(v) == snap:
+                continue
+            node_snaps[v] = snap
+            self._node_views[v] = MappingProxyType(snap)
+            self._node_keys.pop(v, None)
+            self._snaps_stale = True
+        dirty.clear()
+
+    # -- the vectorized synchronous round --------------------------------------
+
+    def _sync_structs(self):
+        """Per-node channel lists for the fast path, built once.
+
+        The topology is frozen, so the in-channel list of every destination
+        (ascending source, paired with the destination's flat view row) and
+        the out-channel list of every source (neighbour order) are static.
+        """
+        cache = self._sync_structs_cache
+        if cache is None:
+            k = self.kernel
+            channels = self.channels
+            in_lists = []
+            for i, dst in enumerate(k.node_ids):
+                lo, hi = int(k.indptr[i]), int(k.indptr[i + 1])
+                chans = tuple(
+                    (channels[(int(k.nbr_ids[f]), dst)], f, int(k.nbr_ids[f]),
+                     int(k.nbr_node_idx[f]))
+                    for f in range(lo, hi))
+                in_lists.append((dst, i, chans))
+            out_lists = {
+                v: tuple(channels[(v, u)] for u in self.adjacency[v])
+                for v in k.node_ids}
+            all_keys = frozenset(channels)
+            all_nodes = tuple(k.node_ids)
+            cache = (in_lists, out_lists, all_keys, all_nodes)
+            self._sync_structs_cache = cache
+        return cache
+
+    def _gossip_minfo(self, si: int) -> MInfo:
+        """The ``MInfo`` a virtual token of source index ``si`` stands for."""
+        k = self.kernel
+        return MInfo(root=int(k.g_root[si]), parent=int(k.g_parent[si]),
+                     distance=int(k.g_distance[si]),
+                     degree=int(k.g_degree[si]),
+                     sub_max=int(k.g_sub_max[si]),
+                     dmax=int(k.g_dmax[si]), color=bool(k.g_color[si]))
+
+    def _materialize_channel(self, ch: ArrayChannel, front: bool) -> None:
+        """Materialize the in-flight token on ``ch`` *alone*.
+
+        The source's other channels keep their virtual token.  The channel's
+        delivered base is bumped one ahead (a *lookahead*): the round trip
+        that the per-source counter will record at the next drain completes
+        on this channel as a physical delivery instead, so the counter bump
+        must not be folded into its stats a second time.
+        """
+        si = ch._src_i
+        msg = self._gossip_minfo(si)
+        st = ch.stats  # flush the pending virtual ``sent`` first
+        ch._vd_base += 1
+        q = ch._queue
+        if front:
+            q.appendleft(msg)
+        else:
+            q.append(msg)
+        length = len(q)
+        if length > st.max_queue_length:
+            st.max_queue_length = length
+        key = (ch.src, ch.dst)
+        self._active.add(key)
+        self._vg_mat.add(key)
+
+    def _materialize_src(self, si: int, front: bool) -> None:
+        """Turn source ``si``'s in-flight virtual token into real messages.
+
+        ``front=True`` places the ``MInfo`` at the head of each out-channel
+        (between rounds nothing physically queued can predate the token);
+        ``front=False`` appends (used *during* the timeout phase, where the
+        queue can only hold this round's earlier control messages).
+        ``sent`` was already counted at virtual-send time.  Channels whose
+        token was already materialized individually are skipped (their
+        lookahead delivered base is settled by the final per-source counter
+        bump, which replaces the bump the next drain would have applied).
+        """
+        inflight = self._vg_inflight
+        if not inflight[si]:
+            return
+        inflight[si] = False
+        msg = self._gossip_minfo(si)
+        v = self.kernel.node_ids[si]
+        out_lists = self._sync_structs()[1]
+        active = self._active
+        mat = self._vg_mat
+        for ch in out_lists[v]:
+            key = (ch.src, ch.dst)
+            if mat and key in mat:
+                mat.discard(key)
+                continue
+            st = ch.stats  # flush the pending virtual ``sent``
+            ch._vd_base += 1
+            q = ch._queue
+            if front:
+                q.appendleft(msg)
+            else:
+                q.append(msg)
+            length = len(q)
+            if length > st.max_queue_length:
+                st.max_queue_length = length
+            active.add(key)
+        self._vg_del_src[si] += 1
+
+    def materialize_gossip(self) -> None:
+        """Materialize every in-flight virtual gossip token.
+
+        Called before any fallback to the scalar scheduler (full event
+        logs, disabled nodes) so the object code path only ever sees real
+        message objects on physical queues.  Token content is the sender's
+        gossip snapshot columns, exactly what the fast path would have
+        scattered.
+        """
+        inflight = self._vg_inflight
+        if not inflight.any():
+            return
+        for si in np.nonzero(inflight)[0].tolist():
+            self._materialize_src(si, front=True)
+
+    def snapshot_key(self) -> tuple:
+        """Fingerprint the configuration straight from the state columns.
+
+        The per-node snapshot is exactly the seven ``MDSTState`` fields
+        (six own columns plus the derived tree degree), so a digest over
+        those columns is a sound equality key for the predicate cache:
+        equal keys imply equal snapshot maps.  This skips the parent
+        class's per-node dict assembly entirely on the hot path.
+        """
+        cached = self._acols_key_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        k = self.kernel
+        degrees = k.compute_degrees(k._all_idx)
+        h = hashlib.md5()
+        h.update(k.root.tobytes())
+        h.update(k.parent.tobytes())
+        h.update(k.distance.tobytes())
+        h.update(degrees.tobytes())
+        h.update(k.sub_max.tobytes())
+        h.update(k.dmax.tobytes())
+        h.update(k.color.tobytes())
+        key = ("array-cols", h.digest())
+        self._acols_key_cache = (self._version, key)
+        return key
+
+    def run_sync_round(self, events: EnabledEvents,
+                       trace: Optional[TraceRecorder],
+                       stats: RoundStats) -> None:
+        """One synchronous round, message delivery and refresh batched.
+
+        Reproduces :class:`~repro.sim.scheduler.SynchronousScheduler`
+        step-for-step: the round-start backlog is consumed per destination
+        (destinations ascending, sources ascending, frozen counts), then
+        every enabled node runs its timeout action in id order.  Gossip
+        deliveries and the refresh they trigger are applied as per-slot
+        vector operations -- slot ``j`` holds the ``j``-th backlog message
+        of every destination, so each node still observes its own delivery
+        sequence in order, and cross-node batching is sound because a
+        gossip step touches only the destination's own columns.
+        Destinations whose entire backlog is gossip are batched without any
+        per-message work; a destination that received control traffic is
+        replayed through the slot loop, control handlers running the real
+        scalar code.
+        """
+        k = self.kernel
+        processes = self.processes
+        in_lists, out_lists, all_keys, all_nodes = self._sync_structs()
+        minfo_bits = self._minfo_bits
+        dirty = self._dirty
+        inflight = self._vg_inflight
+        active = self._active
+        # -- phase 1: drain the round-start backlog ----------------------------
+        # The gossip backlog is *virtual* (the in-flight mask): in the steady
+        # state this phase is a handful of array operations and never touches
+        # a channel object.  Physical messages exist only on the channels in
+        # the active set (control traffic, fault preloads, materialized
+        # tokens); their destinations are replayed through the slot loop in
+        # exact (dst, src, FIFO) order -- a source's virtual token sorts
+        # before anything physically queued on the same channel, matching
+        # the send order of the object backend.
+        mixed: List[Tuple[NodeId, List[object]]] = []
+        phys_delivered = 0
+        has_virt = bool(inflight.any())
+        rows = counts = dsti_arr = starts = None
+        tok_dst_ids: Sequence[NodeId] = ()
+        ntok = 0
+        if not active and has_virt and inflight.all():
+            # Steady state: every destination's backlog is exactly one token
+            # per in-edge, so the geometry is the cached full CSR layout.
+            rows = k._full_flat
+            counts = k._row_counts
+            starts = k._full_starts
+            dsti_arr = k._all_idx
+            tok_dst_ids = all_nodes
+            ntok = k.total
+        else:
+            mixed_idx = (sorted({int(k.index[d]) for (_, d) in active})
+                         if active else [])
+            if has_virt:
+                tok_mask = inflight[k.nbr_node_idx]
+                for i in mixed_idx:
+                    tok_mask[int(k.indptr[i]):int(k.indptr[i + 1])] = False
+                counts_all = np.add.reduceat(tok_mask.astype(_I64),
+                                             k._full_starts)
+                sel = counts_all > 0
+                rows = np.nonzero(tok_mask)[0]
+                counts = counts_all[sel]
+                dsti_arr = k._all_idx[sel]
+                starts = np.zeros(len(counts), dtype=_I64)
+                np.cumsum(counts[:-1], out=starts[1:])
+                tok_dst_ids = [k.node_ids[i] for i in dsti_arr.tolist()]
+                ntok = len(rows)
+            # Destinations with physical backlog: per-channel scalar drain.
+            mat = self._vg_mat
+            for i in mixed_idx:
+                dst = k.node_ids[i]
+                seq: List[object] = []
+                for ch, row, src, si in in_lists[i][2]:
+                    if inflight[si] and (src, dst) not in mat:
+                        seq.append(row)
+                    q = ch._queue
+                    cnt = len(q)
+                    if cnt:
+                        st = ch.stats
+                        st.delivered += cnt
+                        phys_delivered += cnt
+                        for _ in range(cnt):
+                            seq.append((src, q.popleft()))
+                if seq:
+                    mixed.append((dst, seq))
+        nvirt = 0
+        if has_virt:
+            # Every in-flight token is part of some destination's backlog and
+            # a synchronous round drains the whole backlog, so the round trip
+            # completes for all of them: one delivery per out-channel --
+            # minus the tokens that were materialized individually, which
+            # were just popped and counted as physical deliveries above.
+            nvirt = int(k._row_counts[inflight].sum()) - len(self._vg_mat)
+            self._vg_del_src[inflight] += 1
+            inflight.fill(False)
+            self._vg_mat.clear()
+        delivered = nvirt + phys_delivered
+        if delivered:
+            # Batched twin of per-message Channel.deliver() accounting: every
+            # backlog queue is drained completely, so no channel stays active.
+            self._pending_total -= delivered
+            active.clear()
+            self._version += delivered
+        # -- phase 2a: pure-gossip destinations, fully vectorized --------------
+        if ntok:
+            nbr_node_idx = k.nbr_node_idx
+            for j in range(int(counts.max())):
+                if j == 0:
+                    P = rows[starts]
+                    S = dsti_arr
+                else:
+                    m = counts > j
+                    P = rows[starts[m] + j]
+                    S = dsti_arr[m]
+                src_idx = nbr_node_idx[P]
+                nr = k.g_root[src_idx]
+                npa = k.g_parent[src_idx]
+                nd = k.g_distance[src_idx]
+                ndeg = k.g_degree[src_idx]
+                nsm = k.g_sub_max[src_idx]
+                ndm = k.g_dmax[src_idx]
+                nc = k.g_color[src_idx]
+                # A refresh with an unchanged view is a no-op (the rules are
+                # idempotent: R1 adopts the minimum heard root, after which
+                # neither R1 nor R2 fires again, and the degree layer is a
+                # direct function of view and parent), so only destinations
+                # whose view row this write actually changed re-run it.
+                changed = ((k.v_root[P] != nr) | (k.v_parent[P] != npa)
+                           | (k.v_distance[P] != nd) | (k.v_degree[P] != ndeg)
+                           | (k.v_sub_max[P] != nsm) | (k.v_dmax[P] != ndm)
+                           | (k.v_color[P] != nc) | ~k.v_heard[P])
+                k.v_root[P] = nr
+                k.v_parent[P] = npa
+                k.v_distance[P] = nd
+                k.v_degree[P] = ndeg
+                k.v_sub_max[P] = nsm
+                k.v_dmax[P] = ndm
+                k.v_color[P] = nc
+                k.v_heard[P] = True
+                if changed.any():
+                    k.refresh(S[changed])
+            for dst, cnt in zip(tok_dst_ids, counts.tolist()):
+                processes[dst].steps_taken += cnt
+            dirty.update(tok_dst_ids)
+            self._version += ntok
+            stats.steps += ntok
+            stats.deliveries += ntok
+            if trace is not None:
+                mtc = trace.message_type_counts
+                mtc["MInfo"] = mtc.get("MInfo", 0) + ntok
+                if minfo_bits > trace.max_message_bits:
+                    trace.max_message_bits = minfo_bits
+                trace.total_deliveries += ntok
+                if trace.rounds:
+                    rec = trace.rounds[-1]
+                    rec.steps += ntok
+                    rec.deliveries += ntok
+        # -- phase 2b: destinations with control traffic, slot by slot ---------
+        #: Channels that physically carried traffic this round before the
+        #: timeout phase; the sender's gossip token must materialize on them
+        #: *behind* those messages (its other channels stay virtual).
+        phys_sent: List[Tuple[NodeId, NodeId]] = []
+        slot = 0
+        while mixed:
+            batch_rows: List[int] = []
+            batch_dsti: List[int] = []
+            batch_dst_ids: List[NodeId] = []
+            batch_pos: List[int] = []
+            batch_fields: List[Tuple] = []
+            scalars: List[Tuple[NodeId, NodeId, object]] = []
+            active = False
+            for dst, seq in mixed:
+                if slot >= len(seq):
+                    continue
+                active = True
+                e = seq[slot]
+                if type(e) is int:
+                    batch_rows.append(e)
+                    batch_dsti.append(k.index[dst])
+                    batch_dst_ids.append(dst)
+                elif type(e[1]) is MInfo:
+                    msg = e[1]
+                    batch_rows.append(k.pos[(dst, e[0])])
+                    batch_dsti.append(k.index[dst])
+                    batch_dst_ids.append(dst)
+                    batch_pos.append(len(batch_rows) - 1)
+                    batch_fields.append((msg.root, msg.parent, msg.distance,
+                                         msg.degree, msg.sub_max, msg.dmax,
+                                         msg.color))
+                else:
+                    scalars.append((dst, e[0], e[1]))
+            if not active:
+                break
+            if batch_rows:
+                P = np.asarray(batch_rows, dtype=np.intp)
+                src_idx = k.nbr_node_idx[P]
+                k.v_root[P] = k.g_root[src_idx]
+                k.v_parent[P] = k.g_parent[src_idx]
+                k.v_distance[P] = k.g_distance[src_idx]
+                k.v_degree[P] = k.g_degree[src_idx]
+                k.v_sub_max[P] = k.g_sub_max[src_idx]
+                k.v_dmax[P] = k.g_dmax[src_idx]
+                k.v_color[P] = k.g_color[src_idx]
+                k.v_heard[P] = True
+                if batch_fields:
+                    # Real MInfo objects (start-up traffic, materialized
+                    # fallbacks) override the token scatter at their rows.
+                    pos = P[np.asarray(batch_pos, dtype=np.intp)]
+                    cols = list(zip(*batch_fields))
+                    k.v_root[pos] = cols[0]
+                    k.v_parent[pos] = cols[1]
+                    k.v_distance[pos] = cols[2]
+                    k.v_degree[pos] = cols[3]
+                    k.v_sub_max[pos] = cols[4]
+                    k.v_dmax[pos] = cols[5]
+                    k.v_color[pos] = np.asarray(cols[6], dtype=bool)
+                S = np.asarray(batch_dsti, dtype=_I64)
+                # NOTE: unlike phase 2a, the refresh here must be
+                # unconditional -- a control handler earlier in this round
+                # can change the destination's *own* state so that a rule
+                # fires on a later gossip delivery even when that delivery
+                # leaves the view row unchanged.
+                k.refresh(S)
+                count = len(batch_rows)
+                for dst in batch_dst_ids:
+                    processes[dst].steps_taken += 1
+                dirty.update(batch_dst_ids)
+                self._version += count
+                stats.steps += count
+                stats.deliveries += count
+                if trace is not None:
+                    mtc = trace.message_type_counts
+                    mtc["MInfo"] = mtc.get("MInfo", 0) + count
+                    if minfo_bits > trace.max_message_bits:
+                        trace.max_message_bits = minfo_bits
+                    trace.total_deliveries += count
+                    if trace.rounds:
+                        rec = trace.rounds[-1]
+                        rec.steps += count
+                        rec.deliveries += count
+            for dst, src, msg in scalars:
+                process = processes[dst]
+                process.on_message(src, msg)
+                process.steps_taken += 1
+                self.note_step(dst)
+                items = process.outbox._items
+                if items:
+                    for dest, _m in items:
+                        phys_sent.append((dst, dest))
+                sent = self.flush_outbox(dst)
+                stats.steps += 1
+                stats.deliveries += 1
+                stats.messages_sent += sent
+                if trace is not None:
+                    trace.record_delivery(src, dst, msg, sent)
+            slot += 1
+        # -- phase 3: the timeout actions, gossip as tokens --------------------
+        timeouts = events.timeouts
+        if not timeouts:
+            return
+        full = timeouts == all_nodes
+        if full:
+            S = k._all_idx
+        else:
+            S = np.fromiter((k.index[v] for v in timeouts), dtype=_I64,
+                            count=len(timeouts))
+        enable_reduction = self._enable_reduction
+        k.refresh(S, predicates=enable_reduction)
+        # Snapshot the gossip columns: every token sent below stands for the
+        # sender's post-refresh state at this instant.
+        if full:
+            np.copyto(k.g_root, k.root)
+            np.copyto(k.g_parent, k.parent)
+            np.copyto(k.g_distance, k.distance)
+            np.copyto(k.g_degree, k.degree)
+            np.copyto(k.g_sub_max, k.sub_max)
+            np.copyto(k.g_dmax, k.dmax)
+            np.copyto(k.g_color, k.color)
+        else:
+            k.g_root[S] = k.root[S]
+            k.g_parent[S] = k.parent[S]
+            k.g_distance[S] = k.distance[S]
+            k.g_degree[S] = k.degree[S]
+            k.g_sub_max[S] = k.sub_max[S]
+            k.g_dmax[S] = k.dmax[S]
+            k.g_color[S] = k.color[S]
+        ls = k.locally_stab
+        dmax = k.dmax
+        n_to = len(timeouts)
+        # Virtual gossip send: one in-flight token per node, standing for one
+        # MInfo on each of its out-channels.  Channel objects are untouched;
+        # the per-source counters make the sends observable through
+        # ArrayChannel.stats.  A node that already sent physical control
+        # traffic this round (or is about to, below) materializes its token
+        # in place so the FIFO order on its channels stays exact.
+        if full:
+            self._vg_sent_src += 1
+            inflight.fill(True)
+            gossip_sends = k.total
+        else:
+            self._vg_sent_src[S] += 1
+            inflight[S] = True
+            gossip_sends = int(k._row_counts[S].sum())
+        self._pending_total += gossip_sends
+        sent_total = gossip_sends
+        if phys_sent:
+            # Channels that carried control traffic earlier this round: the
+            # sender's token goes physically behind those messages, on those
+            # channels only.  (Search initiators below need no such step:
+            # their send lands in ArrayChannel._enqueue, which materializes
+            # exactly the target channel, token first.)
+            channels = self.channels
+            for key in phys_sent:
+                ch = channels[key]
+                if ch._virtual():
+                    self._materialize_channel(ch, front=False)
+        for j, v in enumerate(timeouts):
+            process = processes[v]
+            process._timeout_count += 1
+            if enable_reduction:
+                if process._jitter.random() < 1.0 / process.search_period:
+                    i = j if full else int(S[j])
+                    if ls[i] and dmax[i] >= 3:
+                        process._initiate_searches(idblock=None, limit=1)
+                        if process.outbox._items:
+                            sent_total += self.flush_outbox(v)
+            process.steps_taken += 1
+        # Batched twin of the per-step accounting (note_step + RoundStats and
+        # trace counters); the active set tracks physical queues only, so
+        # virtual sends do not touch it.
+        self._version += gossip_sends + n_to
+        dirty.update(timeouts)
+        stats.steps += n_to
+        stats.timeouts += n_to
+        stats.messages_sent += sent_total
+        if trace is not None:
+            trace.total_timeouts += n_to
+            trace.total_messages_sent += sent_total
+            if trace.rounds:
+                rec = trace.rounds[-1]
+                rec.steps += n_to
+                rec.timeouts += n_to
+                rec.messages_sent += sent_total
+
+
+class ArraySyncScheduler(SynchronousScheduler):
+    """Synchronous scheduler driving the vectorized round of an
+    :class:`ArrayNetwork`; any other network (or a full-event-log trace,
+    which needs per-message events) falls back to the scalar parent."""
+
+    name = "synchronous"
+
+    def run_round(self, network: Network,
+                  trace: Optional[TraceRecorder] = None) -> RoundStats:
+        if not isinstance(network, ArrayNetwork):
+            return super().run_round(network, trace)
+        if network._disabled or (trace is not None and trace.keep_events):
+            # Scalar fallback: virtual gossip tokens must become physical
+            # messages *before* the parent builds its enabled-event set,
+            # or the round would not see them as deliverable.
+            network.materialize_gossip()
+            return super().run_round(network, trace)
+        # Building the enabled-event set costs a sort over every active
+        # channel; the vectorized round scans the frozen channel lists
+        # directly, so on the fast path we skip it entirely.
+        stats = RoundStats()
+        all_nodes = network._sync_structs()[3]
+        events = EnabledEvents(timeouts=all_nodes, deliveries=())
+        network.run_sync_round(events, trace, stats)
+        return stats
+
+    def schedule_round(self, network: Network, events: EnabledEvents,
+                       trace: Optional[TraceRecorder],
+                       stats: RoundStats) -> None:
+        if not isinstance(network, ArrayNetwork):
+            super().schedule_round(network, events, trace, stats)
+            return
+        if ((trace is not None and trace.keep_events)
+                or network._disabled):
+            # Scalar fallback: full event logs need per-message records,
+            # disabled nodes need the parent's per-event gating.  Queued
+            # gossip tokens must become real messages first.
+            network.materialize_gossip()
+            super().schedule_round(network, events, trace, stats)
+            return
+        network.run_sync_round(events, trace, stats)
+
+
+def build_array_mdst_network(graph: nx.Graph, *, n_upper: int,
+                             search_period: int = 3,
+                             deblock_cooldown: int = 30,
+                             enable_reduction: bool = True) -> ArrayNetwork:
+    """Build the array-backed MDST network (the adapter's ``backend="array"``
+    counterpart of :func:`repro.core.protocol.build_mdst_network`)."""
+    return ArrayNetwork(graph, n_upper=n_upper, search_period=search_period,
+                        deblock_cooldown=deblock_cooldown,
+                        enable_reduction=enable_reduction)

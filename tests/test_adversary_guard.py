@@ -61,8 +61,10 @@ ADVERSARY_FIELDS = ("loss_rate", "dup_rate", "reorder_rate", "crash_count",
 
 
 class TestSchemaCompatibility:
-    def test_schema_version_bumped_for_the_adversary_axis(self):
-        assert CACHE_SCHEMA_VERSION == 4
+    def test_schema_version_covers_the_adversary_axis(self):
+        # v4 introduced the adversary fields; later axes (v5: the kernel
+        # backend) keep bumping the version, never reuse v3's.
+        assert CACHE_SCHEMA_VERSION >= 4
 
     def test_legacy_v3_dict_loads_adversary_free(self):
         spec = RunSpec.from_dict(LEGACY_V3_DICT)

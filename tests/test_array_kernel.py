@@ -1,0 +1,238 @@
+"""Tier-1 guards for the array kernel backend (``backend="array"``).
+
+Four invariants protect the backend's central promise -- byte-identical
+results, only faster -- across the v4 -> v5 schema bump:
+
+* **Gating** -- the array kernel freezes the topology and owns the
+  channel objects, so churn, adversary models and non-capable protocols
+  are rejected up front, never silently degraded.
+* **Equivalence** -- object and array backends produce identical results
+  step for step: same per-round trace, same messages, same tree, same
+  channel-derived statistics.  Checked on fixed regression cases (fault
+  plans included) and as a hypothesis property over random graphs, seeds,
+  schedulers and initial policies.
+* **Determinism** -- an array-backend run does not depend on the process
+  hash seed (subprocesses under different ``PYTHONHASHSEED`` values agree
+  byte for byte).
+* **Cache key discipline** -- mirroring ``tests/test_adversary_guard.py``
+  for schema v5: legacy v4 dicts (no ``backend`` key) deserialize to the
+  object backend and share its cache entries; selecting the array backend
+  changes the key; default rows carry no ``backend`` column, so the
+  committed E1-E8 tables keep their historical shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import get_profile
+from repro.experiments.workloads import scaling_workload
+from repro.graphs.generators import GRAPH_FAMILIES
+from repro.protocols import PROTOCOLS
+from repro.protocols.base import ProtocolRunConfig
+from repro.protocols.runner import run_protocol
+from repro.runtime.spec import CACHE_SCHEMA_VERSION, RunSpec, spec_key
+from repro.runtime.tasks import run_protocol_task
+from repro.sim.adversary import Adversary, make_channel_model
+from repro.sim.faults import ChurnPlan, FaultPlan
+
+from test_adversary_guard import E2_FAST_SLICE_MD5, LEGACY_V3_DICT
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: A spec dict exactly as schema v4 wrote it: adversary keys, no backend.
+LEGACY_V4_DICT = {**LEGACY_V3_DICT,
+                  "loss_rate": 0.0, "dup_rate": 0.0, "reorder_rate": 0.0,
+                  "crash_count": 0, "crash_round": 50, "crash_recover": None,
+                  "byzantine_count": 0, "byzantine_start": 10,
+                  "byzantine_rounds": 20}
+
+
+def _graph(n: int, seed: int):
+    return GRAPH_FAMILIES["erdos_renyi_sparse"](n, seed=seed)
+
+
+def _result_key(result):
+    """Everything a run reports, flattened into one comparable value."""
+    run, tr = result.run, result.trace
+    return (
+        run.converged, run.rounds, run.steps, run.messages, run.tree_degree,
+        tuple(sorted(result.tree_edges)),
+        tuple(sorted((v, tuple(sorted(d.items())))
+                     for v, d in result.node_stats.items())),
+        tuple(sorted(run.extra["deliveries_by_type"].items())),
+        run.extra["max_message_bits"], run.extra["max_state_bits"],
+        run.extra["convergence_round"],
+        tr.total_deliveries, tr.total_timeouts, tr.total_messages_sent,
+        tuple((rec.round_index, rec.steps, rec.deliveries, rec.timeouts,
+               rec.messages_sent) for rec in tr.rounds),
+    )
+
+
+def _run_both(graph, fault_plan=None, **cfg):
+    obj = run_protocol(graph, ProtocolRunConfig(backend="object", **cfg),
+                       fault_plan=fault_plan)
+    arr = run_protocol(graph, ProtocolRunConfig(backend="array", **cfg),
+                       fault_plan=fault_plan)
+    return obj, arr
+
+
+class TestBackendGating:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            ProtocolRunConfig(backend="simd").validate()
+
+    def test_registry_flags(self):
+        assert PROTOCOLS["mdst"].supports_array_backend
+        assert not PROTOCOLS["pif_max_degree"].supports_array_backend
+        assert not PROTOCOLS["spanning_tree"].supports_array_backend
+
+    def test_array_rejects_non_capable_protocol(self):
+        with pytest.raises(ConfigurationError, match="array backend"):
+            run_protocol(_graph(8, 1),
+                         ProtocolRunConfig(protocol="pif_max_degree",
+                                           backend="array"))
+
+    def test_array_rejects_churn(self):
+        with pytest.raises(ConfigurationError, match="churn"):
+            run_protocol(_graph(8, 1), ProtocolRunConfig(backend="array"),
+                         churn_plan=ChurnPlan())
+
+    def test_array_rejects_adversary(self):
+        adversary = Adversary(channel_model=make_channel_model(loss=0.1))
+        with pytest.raises(ConfigurationError, match="adversary"):
+            run_protocol(_graph(8, 1), ProtocolRunConfig(backend="array"),
+                         adversary=adversary)
+
+
+class TestByteIdentity:
+    """Fixed regression cases; the hypothesis property below widens them."""
+
+    def test_isolated_synchronous(self):
+        obj, arr = _run_both(_graph(16, 7), scheduler="synchronous",
+                             initial="isolated", seed=5, max_rounds=400)
+        assert _result_key(obj) == _result_key(arr)
+
+    def test_corrupted_synchronous(self):
+        obj, arr = _run_both(_graph(16, 7), scheduler="synchronous",
+                             initial="corrupted", seed=5, max_rounds=400)
+        assert _result_key(obj) == _result_key(arr)
+
+    def test_corrupted_synchronous_with_faults(self):
+        plan = FaultPlan().add(20, node_fraction=0.5, channel_fraction=0.25)
+        obj, arr = _run_both(_graph(16, 7), scheduler="synchronous",
+                             initial="corrupted", seed=5, max_rounds=600,
+                             fault_plan=plan)
+        assert _result_key(obj) == _result_key(arr)
+
+    def test_e2_fast_slice_matches_object_digest(self):
+        """The array backend reproduces E2's committed quick-profile rows.
+
+        The only permitted difference is the identifying ``backend``
+        column itself (non-default backends are labelled so timing rows
+        never alias); every measured value must be byte-identical to the
+        object-backend digest recorded in ``test_adversary_guard.py``.
+        """
+        profile = get_profile("quick")
+        rows = []
+        for inst in list(scaling_workload(profile))[:3]:
+            row = run_protocol_task(
+                RunSpec(task="protocol", family=inst.family, n=inst.n,
+                        seed=inst.seed, initial="isolated",
+                        max_rounds=profile.max_rounds,
+                        backend="array")).row
+            assert row.pop("backend") == "array"
+            rows.append(row)
+        digest = hashlib.md5(json.dumps(rows, sort_keys=True,
+                                        default=str).encode()).hexdigest()
+        assert digest == E2_FAST_SLICE_MD5
+
+
+class TestStepForStepProperty:
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(min_value=6, max_value=20),
+           graph_seed=st.integers(min_value=0, max_value=10_000),
+           run_seed=st.integers(min_value=0, max_value=10_000),
+           scheduler=st.sampled_from(("synchronous", "random", "adversarial")),
+           initial=st.sampled_from(("isolated", "corrupted")),
+           fault=st.booleans())
+    def test_array_equals_object(self, n, graph_seed, run_seed, scheduler,
+                                 initial, fault):
+        plan = (FaultPlan().add(15, node_fraction=0.5, channel_fraction=0.25)
+                if fault else None)
+        obj, arr = _run_both(_graph(n, graph_seed), scheduler=scheduler,
+                             initial=initial, seed=run_seed,
+                             max_rounds=2500, fault_plan=plan)
+        assert _result_key(obj) == _result_key(arr)
+
+
+class TestHashSeedDeterminism:
+    def test_array_run_is_hash_seed_independent(self):
+        """Two subprocesses with different PYTHONHASHSEED agree exactly."""
+        script = (
+            "import sys, json, hashlib\n"
+            f"sys.path.insert(0, {SRC!r})\n"
+            "from repro.runtime.spec import RunSpec\n"
+            "from repro.runtime.tasks import run_protocol_task\n"
+            "row = run_protocol_task(RunSpec(task='protocol',"
+            " family='erdos_renyi_sparse', n=24, seed=7,"
+            " initial='corrupted', max_rounds=600, backend='array')).row\n"
+            "print(hashlib.md5(json.dumps(row, sort_keys=True,"
+            " default=str).encode()).hexdigest())\n")
+        digests = []
+        for hash_seed in ("0", "31337"):
+            env = {**os.environ, "PYTHONHASHSEED": hash_seed}
+            proc = subprocess.run([sys.executable, "-c", script], env=env,
+                                  capture_output=True, text=True, check=True)
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+
+
+class TestSchemaV5:
+    def test_schema_version_bumped_for_the_backend_axis(self):
+        assert CACHE_SCHEMA_VERSION == 5
+
+    def test_legacy_v4_dict_loads_object_backend(self):
+        spec = RunSpec.from_dict(LEGACY_V4_DICT)
+        assert spec.backend == "object"
+        assert "-array" not in spec.label
+
+    def test_array_spec_round_trips_exactly(self):
+        spec = RunSpec(task="protocol", family="wheel", n=12, seed=5,
+                       backend="array")
+        payload = spec.to_dict()
+        assert payload["backend"] == "array"
+        clone = RunSpec.from_dict(payload)
+        assert clone == spec
+        assert spec_key(clone) == spec_key(spec)
+
+    def test_legacy_and_explicit_object_specs_hash_identically(self):
+        """A v4 dict and the equivalent v5 spec share one cache entry."""
+        legacy = RunSpec.from_dict(LEGACY_V4_DICT)
+        explicit = RunSpec.from_dict({**LEGACY_V4_DICT, "backend": "object"})
+        assert spec_key(legacy) == spec_key(explicit)
+
+    def test_array_backend_changes_the_cache_key(self):
+        base = RunSpec(task="protocol", family="wheel", n=12, seed=5)
+        assert spec_key(replace(base, backend="array")) != spec_key(base)
+
+    def test_array_label_is_suffixed(self):
+        assert RunSpec(backend="array").label.endswith("-array")
+
+    def test_default_rows_carry_no_backend_column(self):
+        """E1-E8 row shape: the column appears only for non-default kernels."""
+        row = run_protocol_task(RunSpec(task="protocol", family="wheel",
+                                        n=8, seed=1)).row
+        assert "backend" not in row
