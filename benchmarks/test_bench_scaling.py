@@ -1,17 +1,22 @@
-"""Large-n scaling benchmark: rounds/sec across sizes and kernel backends.
+"""Large-n scaling benchmark: rounds/sec across sizes, schedulers, backends.
 
 The paper's Lemma 5 bounds convergence at ``O(m n^2 log n)`` rounds, so
 measuring it meaningfully needs sweeps well beyond the n <= 12 bench
 workloads.  This suite drives the kernel through the runtime engine
-(``throughput`` task) in two tiers, each run once per kernel backend
-(``object`` and ``array``) with a per-run ``backend`` column:
+(``throughput`` task) in three tiers, each run once per kernel backend
+(``object`` and ``array``) with per-run ``backend`` and ``scheduler``
+columns:
 
 * breadth -- three qualitatively different graph families (sparse
   Erdős–Rényi, random geometric, the hub-heavy barbell) at
-  n in {16, 32, 64, 128};
+  n in {16, 32, 64, 128}, synchronous scheduler;
 * scaling -- the large-n tier, ``erdos_renyi_sparse`` at
-  n in {256, 1024, 4096}, where the vectorized array kernel is expected
-  to pull away from the per-object kernel.
+  n in {256, 1024, 4096, 8192}, synchronous scheduler, where the
+  vectorized array kernel is expected to pull away from the per-object
+  kernel;
+* async -- ``erdos_renyi_sparse`` at n in {1024, 4096} under the
+  random-async scheduler, exercising the array engine's slot-planned
+  batched step path (``repro.sim.array_engine``).
 
 Every number is a *marginal* cost, measured by two-budget warm-up
 subtraction: each configuration runs twice, once for ``warmup`` rounds
@@ -27,17 +32,20 @@ window sits in the early, gossip-dominated regime of the cold start.
 
 Two modes, mirroring ``test_bench_kernel_throughput.py``:
 
-* smoke (default) -- one n=64 instance per backend with a small window;
-  what plain ``pytest`` and the CI smoke job run.  If the committed
-  ``BENCH_scaling.json`` carries a matching smoke record, the test fails
-  when the current machine is more than ``SMOKE_GUARD_FACTOR`` x slower
-  than the recorded number *for that backend* -- a machine-tolerant
-  regression guard, not a strict gate.
-* record (``REPRO_BENCH_RECORD=1``) -- both full tiers for both
+* smoke (default) -- one n=64 instance per (backend, scheduler) smoke
+  combination (object/synchronous, array/synchronous, array/random) with
+  a small window; what plain ``pytest`` and the CI smoke job run.  If
+  the committed ``BENCH_scaling.json`` carries a matching smoke record,
+  the test fails when the current machine is more than
+  ``SMOKE_GUARD_FACTOR`` x slower than the recorded number *for that
+  combination* -- a machine-tolerant regression guard, not a strict gate.
+* record (``REPRO_BENCH_RECORD=1``) -- all three tiers for both
   backends; writes ``BENCH_scaling.json`` (including fresh smoke records
-  for the guard) and asserts the array backend's aggregate rounds/sec
-  over the scaling tier (n >= 256) is >= ``ARRAY_SPEEDUP_TARGET`` x the
-  object backend's.
+  for the guard) and asserts two gates: the array backend's aggregate
+  rounds/sec over the synchronous scaling tier (n >= 256) is
+  >= ``ARRAY_SPEEDUP_TARGET`` x the object backend's, and its aggregate
+  over the async tier is >= ``ASYNC_SPEEDUP_TARGET`` x the object
+  backend's.
 
 History (record mode):
 
@@ -46,7 +54,10 @@ History (record mode):
   acceptance gate was >= 2x that.
 * array-kernel PR: marginal per-round cost at n=256/1024/4096 measured
   at ~37/177/1042 ms (object) vs ~15/49/119 ms (array) on the reference
-  machine -- the >= 5x aggregate gate below.
+  machine -- the >= 5x synchronous aggregate gate below.
+* array-engine PR (async schedulers + substrate protocols): random-async
+  aggregate at n in {1024, 4096} measured ~3.8x object on the reference
+  machine -- the >= 3x async aggregate gate below.
 """
 
 from __future__ import annotations
@@ -62,7 +73,8 @@ from repro.runtime.spec import RunSpec
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
-#: Both kernel backends run every tier; rows carry a ``backend`` column.
+#: Both kernel backends run every tier; rows carry ``backend`` and
+#: ``scheduler`` columns.
 BACKENDS: Tuple[str, ...] = ("object", "array")
 
 #: Breadth tier: families x small sizes, one seed, synchronous scheduler,
@@ -74,24 +86,43 @@ BREADTH_WINDOW = 60
 
 #: Scaling tier: the large-n workload the array backend exists for.
 SCALING_FAMILY = "erdos_renyi_sparse"
-SCALING_SIZES: Tuple[int, ...] = (256, 1024, 4096)
+SCALING_SIZES: Tuple[int, ...] = (256, 1024, 4096, 8192)
 SCALING_WARMUP = 3
 SCALING_WINDOW = 10
 
+#: Async tier: the random-async scheduler through the slot-planned array
+#: engine.  An async round is n timeout activations plus every delivery,
+#: so the window is kept small.
+ASYNC_SCHEDULER = "random"
+ASYNC_SIZES: Tuple[int, ...] = (1024, 4096)
+ASYNC_WARMUP = 2
+ASYNC_WINDOW = 6
+
 SEED = 11
 
-#: Smoke workload: small, fast, fixed -- the CI guard compares like for like.
+#: Smoke workload: small, fast, fixed -- the CI guard compares like for
+#: like.  The (array, random) combination keeps the async planner path on
+#: the CI radar.
 SMOKE_N = 64
 SMOKE_WARMUP = 2
 SMOKE_WINDOW = 30
+SMOKE_COMBOS: Tuple[Tuple[str, str], ...] = (
+    ("object", "synchronous"),
+    ("array", "synchronous"),
+    ("array", "random"),
+)
 
-#: Fail smoke mode only when a backend's throughput drops more than this
-#: factor below its committed record (absorbs machine-to-machine variation).
+#: Fail smoke mode only when a combination's throughput drops more than
+#: this factor below its committed record (absorbs machine variation).
 SMOKE_GUARD_FACTOR = 5.0
 
 #: Record-mode acceptance: array-backend aggregate rounds/sec over the
-#: scaling tier must beat the object backend by at least this factor.
+#: synchronous scaling tier must beat the object backend by at least this
+#: factor...
 ARRAY_SPEEDUP_TARGET = 5.0
+
+#: ...and over the random-async tier by at least this factor.
+ASYNC_SPEEDUP_TARGET = 3.0
 
 
 def _workload_fingerprint() -> Dict[str, object]:
@@ -100,6 +131,8 @@ def _workload_fingerprint() -> Dict[str, object]:
         "breadth_sizes": list(BREADTH_SIZES),
         "scaling_family": SCALING_FAMILY,
         "scaling_sizes": list(SCALING_SIZES),
+        "async_scheduler": ASYNC_SCHEDULER,
+        "async_sizes": list(ASYNC_SIZES),
         "backends": list(BACKENDS),
         "seed": SEED,
         "scheduler": "synchronous",
@@ -115,9 +148,8 @@ def _smoke_fingerprint() -> Dict[str, object]:
         "n": SMOKE_N,
         "warmup": SMOKE_WARMUP,
         "window": SMOKE_WINDOW,
-        "backends": list(BACKENDS),
+        "combos": [list(combo) for combo in SMOKE_COMBOS],
         "seed": SEED,
-        "scheduler": "synchronous",
         "initial": "isolated",
         "task": "throughput",
         "measurement": "two-budget warm-up subtraction",
@@ -125,7 +157,7 @@ def _smoke_fingerprint() -> Dict[str, object]:
 
 
 def _timed_run(engine: SweepEngine, family: str, n: int, backend: str,
-               budget: int) -> float:
+               scheduler: str, budget: int) -> float:
     """One throughput run of exactly ``budget`` rounds; returns seconds.
 
     ``stability_window`` sits above the budget so the simulator cannot
@@ -134,27 +166,30 @@ def _timed_run(engine: SweepEngine, family: str, n: int, backend: str,
     measurement therefore differ by exactly the window.
     """
     spec = RunSpec(task="throughput", family=family, n=n, seed=SEED,
-                   scheduler="synchronous", initial="isolated",
+                   scheduler=scheduler, initial="isolated",
                    max_rounds=budget, stability_window=budget + 1,
                    backend=backend)
     [outcome] = engine.execute([spec])
     rounds = int(outcome.row["rounds"])
     assert rounds == budget, (
-        f"{family} n={n} backend={backend}: expected exactly {budget} "
-        f"rounds, got {rounds}")
+        f"{family} n={n} backend={backend} scheduler={scheduler}: expected "
+        f"exactly {budget} rounds, got {rounds}")
     return float(outcome.row["seconds"])
 
 
 def _measure(engine: SweepEngine, family: str, n: int, backend: str,
-             warmup: int, window: int) -> Dict[str, object]:
+             warmup: int, window: int,
+             scheduler: str = "synchronous") -> Dict[str, object]:
     """Marginal cost of ``window`` rounds after a ``warmup``-round prefix."""
-    t_warm = _timed_run(engine, family, n, backend, warmup)
-    t_full = _timed_run(engine, family, n, backend, warmup + window)
+    t_warm = _timed_run(engine, family, n, backend, scheduler, warmup)
+    t_full = _timed_run(engine, family, n, backend, scheduler,
+                        warmup + window)
     seconds = max(t_full - t_warm, 1e-9)
     return {
         "family": family,
         "n": n,
         "backend": backend,
+        "scheduler": scheduler,
         "warmup_rounds": warmup,
         "measured_rounds": window,
         "seconds": round(seconds, 4),
@@ -175,12 +210,12 @@ def test_scaling_throughput():
 
     if not record:
         rows = [_measure(engine, SCALING_FAMILY, SMOKE_N, backend,
-                         SMOKE_WARMUP, SMOKE_WINDOW)
-                for backend in BACKENDS]
+                         SMOKE_WARMUP, SMOKE_WINDOW, scheduler=scheduler)
+                for backend, scheduler in SMOKE_COMBOS]
         print()
         for row in rows:
-            print(f"scaling throughput (smoke, {row['backend']}): "
-                  f"{row['rounds_per_sec']} rounds/sec "
+            print(f"scaling throughput (smoke, {row['backend']}/"
+                  f"{row['scheduler']}): {row['rounds_per_sec']} rounds/sec "
                   f"({row['ms_per_round']} ms/round at n={SMOKE_N})")
             assert float(row["rounds_per_sec"]) > 0
         guard = None
@@ -189,28 +224,28 @@ def test_scaling_throughput():
             guard = committed.get("smoke_guard")
         if guard and guard.get("workload") == _smoke_fingerprint():
             for row in rows:
-                backend = str(row["backend"])
-                recorded = float(guard["rounds_per_sec"][backend])
+                combo = f"{row['backend']}/{row['scheduler']}"
+                recorded = float(guard["rounds_per_sec"][combo])
                 floor = recorded / SMOKE_GUARD_FACTOR
                 current = float(row["rounds_per_sec"])
-                print(f"smoke guard ({backend}): recorded {recorded} "
+                print(f"smoke guard ({combo}): recorded {recorded} "
                       f"rounds/sec, floor {round(floor, 2)}")
                 assert current >= floor, (
-                    f"{backend}-backend smoke throughput {current} rounds/sec "
-                    f"is more than {SMOKE_GUARD_FACTOR}x below the committed "
+                    f"{combo} smoke throughput {current} rounds/sec is "
+                    f"more than {SMOKE_GUARD_FACTOR}x below the committed "
                     f"record {recorded} (see BENCH_scaling.json)")
         else:
             print("smoke guard: no matching committed record, guard skipped")
         return
 
-    # -- record mode: smoke first, then both tiers, both backends -----------
-    # The smoke record runs before the heavy tiers: the n=4096 object runs
+    # -- record mode: smoke first, then the three tiers, both backends ------
+    # The smoke record runs before the heavy tiers: the n=8192 object runs
     # leave the allocator and GC in a state that inflates every later
     # small-n measurement, and the guard must compare against the same
     # fresh-process conditions plain ``pytest`` runs under.
     smoke_rows = [_measure(engine, SCALING_FAMILY, SMOKE_N, backend,
-                           SMOKE_WARMUP, SMOKE_WINDOW)
-                  for backend in BACKENDS]
+                           SMOKE_WARMUP, SMOKE_WINDOW, scheduler=scheduler)
+                  for backend, scheduler in SMOKE_COMBOS]
     breadth = [_measure(engine, family, n, backend,
                         BREADTH_WARMUP, BREADTH_WINDOW)
                for family in FAMILIES for n in BREADTH_SIZES
@@ -218,29 +253,47 @@ def test_scaling_throughput():
     scaling = [_measure(engine, SCALING_FAMILY, n, backend,
                         SCALING_WARMUP, SCALING_WINDOW)
                for n in SCALING_SIZES for backend in BACKENDS]
+    async_runs = [_measure(engine, SCALING_FAMILY, n, backend,
+                           ASYNC_WARMUP, ASYNC_WINDOW,
+                           scheduler=ASYNC_SCHEDULER)
+                  for n in ASYNC_SIZES for backend in BACKENDS]
 
     agg = {backend: _aggregate([r for r in scaling if r["backend"] == backend])
            for backend in BACKENDS}
     speedup = round(agg["array"] / agg["object"], 2) if agg["object"] else 0.0
+    async_agg = {backend: _aggregate([r for r in async_runs
+                                      if r["backend"] == backend])
+                 for backend in BACKENDS}
+    async_speedup = (round(async_agg["array"] / async_agg["object"], 2)
+                     if async_agg["object"] else 0.0)
     payload = {
         "benchmark": "scaling_throughput",
         "mode": "record",
         "workload": _workload_fingerprint(),
         "breadth_runs": breadth,
         "scaling_runs": scaling,
+        "async_runs": async_runs,
         "scaling_aggregate_rounds_per_sec": agg,
+        "async_aggregate_rounds_per_sec": async_agg,
         "array_speedup": {
             "aggregate": speedup,
             "target": ARRAY_SPEEDUP_TARGET,
             "note": "aggregate = sum(measured rounds) / sum(marginal "
                     "seconds) per backend over the scaling tier (n >= "
-                    "256, erdos_renyi_sparse); compare trends, not "
-                    "absolutes, across machines",
+                    "256, erdos_renyi_sparse, synchronous); compare "
+                    "trends, not absolutes, across machines",
+        },
+        "async_array_speedup": {
+            "aggregate": async_speedup,
+            "target": ASYNC_SPEEDUP_TARGET,
+            "note": "same aggregate over the async tier (n in "
+                    f"{list(ASYNC_SIZES)}, erdos_renyi_sparse, "
+                    f"{ASYNC_SCHEDULER} scheduler)",
         },
         "smoke_guard": {
             "workload": _smoke_fingerprint(),
-            "rounds_per_sec": {str(r["backend"]): r["rounds_per_sec"]
-                               for r in smoke_rows},
+            "rounds_per_sec": {f"{r['backend']}/{r['scheduler']}":
+                               r["rounds_per_sec"] for r in smoke_rows},
             "guard_factor": SMOKE_GUARD_FACTOR,
         },
         "unix_time": int(time.time()),
@@ -248,12 +301,19 @@ def test_scaling_throughput():
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
     print(f"scaling throughput (record): array {agg['array']} vs object "
-          f"{agg['object']} rounds/sec aggregate -> {speedup}x "
+          f"{agg['object']} rounds/sec aggregate -> {speedup}x; async "
+          f"({ASYNC_SCHEDULER}) array {async_agg['array']} vs object "
+          f"{async_agg['object']} -> {async_speedup}x "
           f"-> {OUTPUT_PATH.name}")
-    for row in scaling:
-        print(f"  n={row['n']} {row['backend']}: {row['rounds_per_sec']} "
-              f"rounds/sec ({row['ms_per_round']} ms/round)")
+    for row in scaling + async_runs:
+        print(f"  n={row['n']} {row['backend']}/{row['scheduler']}: "
+              f"{row['rounds_per_sec']} rounds/sec "
+              f"({row['ms_per_round']} ms/round)")
     assert speedup >= ARRAY_SPEEDUP_TARGET, (
         f"array-backend aggregate {agg['array']} rounds/sec is only "
         f"{speedup}x the object backend ({agg['object']}); the gate is "
         f"{ARRAY_SPEEDUP_TARGET}x over the n >= 256 scaling tier")
+    assert async_speedup >= ASYNC_SPEEDUP_TARGET, (
+        f"async array-backend aggregate {async_agg['array']} rounds/sec is "
+        f"only {async_speedup}x the object backend ({async_agg['object']}); "
+        f"the gate is {ASYNC_SPEEDUP_TARGET}x over the async tier")

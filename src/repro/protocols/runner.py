@@ -169,10 +169,9 @@ def run_protocol(graph: nx.Graph,
                                slow_links=config.slow_links,
                                max_delay=config.max_delay,
                                weights=config.node_weights)
-    if (config.backend == "array"
-            and scheduler.name == "synchronous"):
-        from ..sim.array_kernel import ArraySyncScheduler
-        scheduler = ArraySyncScheduler()
+    if config.backend == "array":
+        from ..sim.array_engine import wrap_scheduler_for_array
+        scheduler = wrap_scheduler_for_array(scheduler)
     trace = TraceRecorder(keep_events=config.keep_trace_events,
                           network_size=graph.number_of_nodes())
     simulator = Simulator(network, scheduler=scheduler, legitimacy=legitimacy,

@@ -382,6 +382,7 @@ def cmd_protocols(args: argparse.Namespace) -> int:
             "lossy": "yes" if adapter.supports_unreliable_channels else "no",
             "crash": "yes" if adapter.supports_crash else "no",
             "byzantine": "yes" if adapter.supports_byzantine else "no",
+            "array": "yes" if adapter.supports_array_backend else "no",
             "initial policies": "/".join(adapter.initial_policies),
             "description": adapter.description,
         })
@@ -455,7 +456,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n", type=int, default=16, help="target node count")
     run.add_argument("--seed", type=int, default=1, help="graph + run seed")
     run.add_argument("--scheduler", default="synchronous",
-                     choices=("synchronous", "random", "adversarial"))
+                     choices=("synchronous", "random", "adversarial",
+                              "weighted"))
     run.add_argument("--initial", default="isolated",
                      help="initial-configuration policy; each protocol "
                           "declares its own set (see `repro protocols`), "

@@ -423,6 +423,16 @@ def run_throughput_task(spec: RunSpec) -> RunOutcome:
     profiler = None
     if profile_top > 0:
         import cProfile
+        if config.backend == "array":
+            # The array modules (and scipy underneath them) import lazily
+            # on first use inside run_protocol.  In a cold process that
+            # one-time import storm lands inside the profiled region and
+            # drowns the vectorized round loop in importlib frames, so
+            # warm it up before the profiler starts counting.
+            import scipy.sparse              # noqa: F401
+            import repro.sim.array_engine    # noqa: F401
+            import repro.sim.array_kernel    # noqa: F401
+            import repro.sim.array_substrates  # noqa: F401
         profiler = cProfile.Profile()
         profiler.enable()
     start = time.perf_counter()

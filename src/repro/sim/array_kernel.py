@@ -52,11 +52,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
-from ..core.messages import MInfo
+from ..core.messages import Deblock, MInfo, Search, UpdateDist
 from ..core.node_algorithm import MDSTNode
 from ..exceptions import SimulationError
 from ..types import NodeId
 from .channel import Channel
+from .messages import GarbageMessage
 from .network import EnabledEvents, Network
 from .scheduler import RoundStats, SynchronousScheduler
 from .trace import TraceRecorder
@@ -179,6 +180,21 @@ class ArrayKernel:
         self.g_sub_max = np.zeros(self.n, dtype=_I64)
         self.g_dmax = np.zeros(self.n, dtype=_I64)
         self.g_color = np.zeros(self.n, dtype=bool)
+        # Previous-generation gossip snapshot.  Asynchronous schedules can
+        # mint a node's next token while the previous one is still in flight
+        # on some channels; shifting the snapshot here (instead of
+        # materializing message objects) keeps those late deliveries
+        # columnar.  At most two generations are ever live per source: a
+        # round delivers every round-start token before the round ends, so a
+        # token older than one generation is physically materialized by the
+        # mint that would otherwise overwrite this buffer.
+        self.go_root = np.zeros(self.n, dtype=_I64)
+        self.go_parent = np.zeros(self.n, dtype=_I64)
+        self.go_distance = np.zeros(self.n, dtype=_I64)
+        self.go_degree = np.zeros(self.n, dtype=_I64)
+        self.go_sub_max = np.zeros(self.n, dtype=_I64)
+        self.go_dmax = np.zeros(self.n, dtype=_I64)
+        self.go_color = np.zeros(self.n, dtype=bool)
         #: node *index* (not id) of the neighbour at each flat view row.
         self.nbr_node_idx = np.searchsorted(self.ids, self.nbr_ids)
         # -- flat position lookup -----------------------------------------------
@@ -414,6 +430,41 @@ class ArrayKernel:
         pmask = (~child) & (np.repeat(self.parent[S], counts)
                             == self.nbr_ids[flat])
         return np.add.reduceat((child | pmask).astype(_I64), starts)
+
+    def stabilized_mask(self, S: np.ndarray) -> np.ndarray:
+        """Vectorized ``locally_stabilized`` over the node-index subset ``S``.
+
+        The batched twin of :meth:`ArrayMDSTNode.locally_stabilized`:
+        evaluates the predicate's five clauses for every node of ``S`` in
+        one pass, without writing any column.  Used to gate whole batches
+        of ``Search``/``Deblock`` deliveries at once (the handlers'
+        early-return) instead of calling the scalar predicate per message.
+        """
+        if len(S) == 0:
+            return np.zeros(0, dtype=bool)
+        me = self.ids[S]
+        r = self.root[S]
+        p = self.parent[S]
+        d = self.distance[S]
+        ok = (d < self.n_upper) & (r <= me)
+        self_parent = p == me
+        prow, pvalid = self.parent_rows(S, p)
+        prow_c = np.maximum(prow, 0)
+        pvh = pvalid & self.v_heard[prow_c]
+        ok &= np.where(
+            self_parent,
+            (r == me) & (d == 0),
+            pvalid & (~pvh | ((self.v_root[prow_c] == r)
+                              & (d == self.v_distance[prow_c] + 1))))
+        ok &= self.color[S]
+        if self.total:
+            flat, starts, counts = self.rows_of(S)
+            vh = self.v_heard[flat]
+            bad = vh & ((self.v_root[flat] < np.repeat(r, counts))
+                        | (self.v_dmax[flat] != np.repeat(self.dmax[S], counts))
+                        | (~self.v_color[flat]))
+            ok &= ~np.logical_or.reduceat(bad, starts)
+        return ok
 
 
 class NeighborProxy:
@@ -775,33 +826,44 @@ _RAW_STATS = Channel.__dict__["stats"]
 
 
 class ArrayChannel(Channel):
-    """A channel whose synchronous gossip traffic is *virtual*.
+    """A channel whose gossip traffic is *virtual*.
 
-    The vectorized round never touches channel queues for gossip: one
-    counter per source records how many gossip rounds it sent
-    (``ArrayNetwork._vg_sent_src``) and delivered, and an in-flight mask
-    says whether a token is logically queued right now.  This class makes
-    that bookkeeping observable through the ordinary :class:`Channel`
-    surface: ``stats`` lazily folds the per-source counters into the raw
-    :class:`~repro.sim.channel.ChannelStats`, and length/iteration include
-    the in-flight token.  Any operation that needs the physical queue
-    (an enqueue behind the token, a fault preload, a direct delivery)
-    first *materializes* the token into a real ``MInfo`` at its logical
-    position, so the scalar code path never observes virtual state.
+    The vectorized rounds never touch channel queues for gossip: one
+    counter per source records how many gossip tokens it minted
+    (``ArrayNetwork._vg_sent_src``) and one counter per directed edge
+    (``ArrayNetwork._vg_del_row``) how many this channel consumed.  The
+    difference is the channel's in-flight token count, at most two -- the
+    current generation (the source's ``g_*`` snapshot columns) and the
+    previous one (``go_*``).  This class makes that bookkeeping observable
+    through the ordinary :class:`Channel` surface: ``stats`` lazily folds
+    the counters into the raw :class:`~repro.sim.channel.ChannelStats`,
+    and length/iteration/peek include the in-flight tokens.
+
+    The standing FIFO invariant is that every physically queued message
+    logically *precedes* every in-flight token: control traffic enqueued
+    behind a token first materializes the tokens, a mint appends the
+    newest token, and a mint that would overwrite a still-unconsumed
+    previous generation materializes that oldest token at the back of the
+    physical queue.  Delivery order is therefore always "physical queue
+    first, then tokens oldest-first".
 
     ``max_queue_length`` is best-effort on the fast path (a queue that only
-    ever carried virtual gossip reports 1); per-channel queue-depth peaks
-    are not part of the byte-identity contract (no run-result field reads
-    them), while ``sent``/``delivered``/``max_message_bits`` stay exact.
+    ever carried virtual gossip reports its token peak); per-channel
+    queue-depth peaks are not part of the byte-identity contract (no
+    run-result field reads them), while ``sent``/``delivered``/
+    ``max_message_bits`` stay exact.
     """
 
-    __slots__ = ("_net", "_src_i", "_vs_base", "_vd_base")
+    __slots__ = ("_net", "_src_i", "_row", "_vs_base", "_vd_base")
 
     def __init__(self, src: NodeId, dst: NodeId, network_size: int,
-                 net: "ArrayNetwork", src_i: int):
+                 net: "ArrayNetwork", src_i: int, row: int):
         super().__init__(src, dst, network_size=network_size)
         self._net = net
         self._src_i = src_i
+        #: Flat view row of this channel at the destination (the per-edge
+        #: slot of the consumed counter).
+        self._row = row
         self._vs_base = 0
         self._vd_base = 0
 
@@ -809,12 +871,11 @@ class ArrayChannel(Channel):
     def stats(self):
         # Deltas are clamped to >= 0 independently: a materialized channel
         # carries a *lookahead* delivered base (the round trip completes as
-        # a physical delivery instead), so its delivered base may run one
-        # ahead of the per-source counter until the next drain.
+        # a physical delivery instead), so its delivered base may run ahead
+        # of the consumed counter until the physical pop happens.
         st = _RAW_STATS.__get__(self)
         net = self._net
-        i = self._src_i
-        vs = int(net._vg_sent_src[i])
+        vs = int(net._vg_sent_src[self._src_i])
         if vs > self._vs_base:
             st.sent += vs - self._vs_base
             self._vs_base = vs
@@ -823,7 +884,7 @@ class ArrayChannel(Channel):
             bits = net._minfo_bits
             if bits > st.max_message_bits:
                 st.max_message_bits = bits
-        vd = int(net._vg_del_src[i])
+        vd = int(net._vg_del_row[self._row])
         if vd > self._vd_base:
             st.delivered += vd - self._vd_base
             self._vd_base = vd
@@ -833,47 +894,138 @@ class ArrayChannel(Channel):
     def stats(self, value):
         _RAW_STATS.__set__(self, value)
 
-    def _virtual(self) -> bool:
-        """Whether this channel logically holds an in-flight gossip token."""
+    def _pending(self) -> int:
+        """In-flight token count (0, 1 or 2; 1 is always the current
+        generation, 2 adds the previous one in front of it)."""
         net = self._net
-        return (bool(net._vg_inflight[self._src_i])
-                and (self.src, self.dst) not in net._vg_mat)
+        return int(net._vg_sent_src[self._src_i]) - int(net._vg_del_row[self._row])
 
     def _enqueue(self, message, index=None) -> None:
-        if self._virtual():
-            self._net._materialize_channel(self, front=True)
+        # Non-gossip traffic goes behind the in-flight tokens; make them
+        # physical first so the queue order is the send order.
+        if self._pending():
+            self._net._materialize_channel(self)
         super()._enqueue(message, index)
 
     def deliver(self):
-        if self._virtual():
-            self._net._materialize_channel(self, front=True)
+        if not self._queue and self._pending():
+            self._net._materialize_channel(self)
         return super().deliver()
 
     def peek(self):
-        if self._virtual():
+        if self._queue:
+            return super().peek()
+        p = self._pending()
+        if p >= 2:
+            return self._net._gossip_minfo_old(self._src_i)
+        if p:
             return self._net._gossip_minfo(self._src_i)
         return super().peek()
 
     def preload(self, messages) -> None:
-        if self._virtual():
-            self._net._materialize_channel(self, front=True)
+        if self._pending():
+            self._net._materialize_channel(self)
         super().preload(messages)
 
     def clear(self) -> int:
-        if self._virtual():
-            self._net._materialize_channel(self, front=True)
+        if self._pending():
+            self._net._materialize_channel(self)
         return super().clear()
 
     def __len__(self) -> int:
-        return len(self._queue) + (1 if self._virtual() else 0)
+        return len(self._queue) + self._pending()
 
     def __bool__(self) -> bool:
-        return bool(self._queue) or self._virtual()
+        return bool(self._queue) or self._pending() > 0
 
     def __iter__(self):
-        if self._virtual():
-            yield self._net._gossip_minfo(self._src_i)
         yield from self._queue
+        p = self._pending()
+        if p >= 2:
+            yield self._net._gossip_minfo_old(self._src_i)
+        if p:
+            yield self._net._gossip_minfo(self._src_i)
+
+
+def mdst_scalar_gate(network: "ArrayNetwork",
+                     scalars: List[Tuple[NodeId, NodeId, object]]) -> List[bool]:
+    """Which of the popped control messages ``(dst, src, msg)`` are no-ops.
+
+    The MDST handlers drop a large share of Search-storm traffic at the
+    door: ``Search``/``Deblock`` return immediately at a destination that is
+    not locally stabilized, ``UpdateDist`` is ignored unless it arrives from
+    the destination's current parent, garbage never matches a handler, and
+    with the reduction layer disabled *every* non-gossip message is ignored.
+    Those early-returns read state but never write it, so they can be
+    evaluated in batch (one :meth:`ArrayKernel.stabilized_mask` pass per
+    slot) and the dropped messages accounted without running a handler.
+    Messages that would reach a real handler body are kept scalar.
+    """
+    k = network.kernel
+    nsc = len(scalars)
+    if not network._enable_reduction:
+        # MDSTNode.on_message returns before dispatch for every non-MInfo
+        # message when the reduction layer is off.
+        return [True] * nsc
+    drop = [False] * nsc
+    gated: List[int] = []
+    for j, (dst, src, msg) in enumerate(scalars):
+        t = type(msg)
+        if t is GarbageMessage:
+            drop[j] = True
+        elif t is Search or t is Deblock:
+            gated.append(j)
+        elif t is UpdateDist:
+            drop[j] = int(k.parent[k.index[dst]]) != src
+    if gated:
+        S = np.fromiter((k.index[scalars[j][0]] for j in gated), dtype=_I64,
+                        count=len(gated))
+        # The subset helpers (rows_of in particular) expect sorted unique
+        # indices; a slot can gate several messages for one destination and
+        # asynchronous plans list destinations in event order.
+        uniq, inverse = np.unique(S, return_inverse=True)
+        stab = k.stabilized_mask(uniq)[inverse]
+        for jj, j in enumerate(gated):
+            drop[j] = not bool(stab[jj])
+    return drop
+
+
+def account_dropped_deliveries(network: Network,
+                               trace: Optional[TraceRecorder],
+                               stats: RoundStats,
+                               dropped: List[Tuple[NodeId, NodeId, object]]
+                               ) -> None:
+    """Batched accounting for deliveries whose handler body was skipped.
+
+    Exactly :meth:`Scheduler._deliver_one` minus the handler call and the
+    (empty) outbox flush: the destination still takes an atomic step, the
+    kernel still sees it, and the trace still counts the delivery with zero
+    emitted messages.  Channel ``deliver()`` accounting happened at pop
+    time.  Callers guarantee ``trace.keep_events`` is off (gated paths fall
+    back to the scalar scheduler for full event logs).
+    """
+    count = len(dropped)
+    processes = network.processes
+    for dst, _src, _msg in dropped:
+        processes[dst].steps_taken += 1
+    network._dirty.update(dst for dst, _src, _msg in dropped)
+    network._version += count
+    stats.steps += count
+    stats.deliveries += count
+    if trace is not None:
+        mtc = trace.message_type_counts
+        nsz = trace.network_size
+        for _dst, _src, msg in dropped:
+            name = msg.type_name()
+            mtc[name] = mtc.get(name, 0) + 1
+            bits = msg.size_bits(nsz)
+            if bits > trace.max_message_bits:
+                trace.max_message_bits = bits
+        trace.total_deliveries += count
+        if trace.rounds:
+            rec = trace.rounds[-1]
+            rec.steps += count
+            rec.deliveries += count
 
 
 class ArrayNetwork(Network):
@@ -898,18 +1050,24 @@ class ArrayNetwork(Network):
         #: constant; computing it once keeps it off the batched hot path.
         self._minfo_bits: int = _minfo_bits_for(kernel.n)
         # -- virtual gossip token state (read by ArrayChannel) ------------------
-        #: Gossip rounds each source has sent / has had delivered; the
-        #: difference, folded lazily into per-channel stats, is the number of
-        #: tokens that never physically existed on that source's channels.
+        #: Gossip tokens each source has minted so far (one per mint on each
+        #: of its out-channels).
         self._vg_sent_src = np.zeros(kernel.n, dtype=_I64)
-        self._vg_del_src = np.zeros(kernel.n, dtype=_I64)
-        #: Whether each source's gossip token of the current round is still
-        #: logically in flight on all of its out-channels.
-        self._vg_inflight = np.zeros(kernel.n, dtype=bool)
-        #: Channel keys whose in-flight token has been materialized *alone*
-        #: (the rest of the source's channels stay virtual): the token is
-        #: physically queued there and no longer counts as virtual presence.
-        self._vg_mat: set = set()
+        #: Tokens each directed edge (indexed by its flat view row at the
+        #: destination) has consumed -- by a vectorized pop, a scalar
+        #: delivery or a materialization.  ``sent[src] - del_row[row]`` is
+        #: the channel's in-flight token count; the invariant
+        #: ``del_row >= sent - 2`` (tokens older than one generation are
+        #: materialized at mint time) keeps two snapshot generations
+        #: sufficient.
+        self._vg_del_row = np.zeros(kernel.total, dtype=_I64)
+        #: Total in-flight (virtual) tokens across all channels.
+        self._vg_virtual_total = 0
+        #: Steady-state cache for :meth:`enabled_deliveries`: the full
+        #: channel list in channel order, one token per channel.
+        self._all_deliv_cache = None
+        #: Lazy per-row structures for the virtual-gossip machinery.
+        self._vg_structs_cache = None
 
         def factory(node_id: NodeId, neighbors: Sequence[NodeId]) -> ArrayMDSTNode:
             return ArrayMDSTNode(node_id, neighbors, kernel, n_upper=n_upper,
@@ -927,7 +1085,8 @@ class ArrayNetwork(Network):
         """Create an :class:`ArrayChannel` (virtual-gossip aware)."""
         src, dst = key
         channel = ArrayChannel(src, dst, self.n, self,
-                               int(self.kernel.index[src]))
+                               int(self.kernel.index[src]),
+                               self.kernel.pos[(dst, src)])
         channel.watch(self._channel_changed)
         if self._channel_model is not None:
             channel.set_model(self._channel_model)
@@ -935,6 +1094,21 @@ class ArrayNetwork(Network):
         self._channel_seq += 1
         self.channels[key] = channel
         return channel
+
+    def _channel_changed(self, channel: Channel, delta: int) -> None:
+        # The parent watcher keys the active set on channel truthiness;
+        # ArrayChannel truthiness includes in-flight tokens, which would
+        # leave keys active after a physical pop empties the queue.  The
+        # active set here tracks *physical* queues only (in-flight tokens
+        # are enumerated by ``enabled_deliveries`` straight from the
+        # counters), so key on the queue.
+        self._pending_total += delta
+        key = (channel.src, channel.dst)
+        if channel._queue:
+            self._active.add(key)
+        else:
+            self._active.discard(key)
+        self._version += 1
 
     # -- dynamic topology is rejected ------------------------------------------
 
@@ -1022,8 +1196,39 @@ class ArrayNetwork(Network):
             self._sync_structs_cache = cache
         return cache
 
+    def _vg_structs(self):
+        """Per-row structures for the virtual-gossip machinery, built once.
+
+        ``out_flat``/``out_starts``/``out_counts`` are the CSR transpose
+        (the out-channel rows of every source, grouped by source index);
+        ``row_channel`` maps a flat view row to its channel object,
+        ``row_key`` to its ``(src, dst)`` key and ``row_order`` to the
+        network's channel-creation order (the sort key of
+        ``enabled_deliveries``).
+        """
+        cache = self._vg_structs_cache
+        if cache is None:
+            k = self.kernel
+            order = np.argsort(k.nbr_node_idx, kind="stable")
+            out_counts = np.bincount(k.nbr_node_idx,
+                                     minlength=k.n).astype(_I64)
+            out_starts = np.zeros(k.n, dtype=_I64)
+            np.cumsum(out_counts[:-1], out=out_starts[1:])
+            row_channel: List[Optional[ArrayChannel]] = [None] * k.total
+            row_key: List[Optional[Tuple[NodeId, NodeId]]] = [None] * k.total
+            row_order = np.zeros(k.total, dtype=_I64)
+            chorder = self._channel_order
+            for key, ch in self.channels.items():
+                row_channel[ch._row] = ch
+                row_key[ch._row] = key
+                row_order[ch._row] = chorder[key]
+            cache = (order, out_starts, out_counts, row_channel, row_key,
+                     row_order)
+            self._vg_structs_cache = cache
+        return cache
+
     def _gossip_minfo(self, si: int) -> MInfo:
-        """The ``MInfo`` a virtual token of source index ``si`` stands for."""
+        """The ``MInfo`` a current-generation token of source ``si`` means."""
         k = self.kernel
         return MInfo(root=int(k.g_root[si]), parent=int(k.g_parent[si]),
                      distance=int(k.g_distance[si]),
@@ -1031,69 +1236,60 @@ class ArrayNetwork(Network):
                      sub_max=int(k.g_sub_max[si]),
                      dmax=int(k.g_dmax[si]), color=bool(k.g_color[si]))
 
-    def _materialize_channel(self, ch: ArrayChannel, front: bool) -> None:
-        """Materialize the in-flight token on ``ch`` *alone*.
+    def _gossip_minfo_old(self, si: int) -> MInfo:
+        """The ``MInfo`` a previous-generation token of source ``si`` means."""
+        k = self.kernel
+        return MInfo(root=int(k.go_root[si]), parent=int(k.go_parent[si]),
+                     distance=int(k.go_distance[si]),
+                     degree=int(k.go_degree[si]),
+                     sub_max=int(k.go_sub_max[si]),
+                     dmax=int(k.go_dmax[si]), color=bool(k.go_color[si]))
 
-        The source's other channels keep their virtual token.  The channel's
-        delivered base is bumped one ahead (a *lookahead*): the round trip
-        that the per-source counter will record at the next drain completes
-        on this channel as a physical delivery instead, so the counter bump
-        must not be folded into its stats a second time.
+    def _materialize_channel(self, ch: ArrayChannel) -> None:
+        """Materialize every in-flight token of ``ch`` onto its queue.
+
+        Tokens append *behind* any physical traffic, oldest generation
+        first -- by the FIFO invariant everything physically queued
+        predates them.  The channel's delivered base runs ahead of the
+        consumed counter afterwards (a *lookahead*): the round trips
+        complete as physical deliveries instead, so the counter bumps must
+        not be folded into its stats a second time.
         """
-        si = ch._src_i
-        msg = self._gossip_minfo(si)
+        p = (int(self._vg_sent_src[ch._src_i])
+             - int(self._vg_del_row[ch._row]))
+        if p <= 0:
+            return
         st = ch.stats  # flush the pending virtual ``sent`` first
-        ch._vd_base += 1
+        si = ch._src_i
         q = ch._queue
-        if front:
-            q.appendleft(msg)
-        else:
-            q.append(msg)
+        if p >= 2:
+            q.append(self._gossip_minfo_old(si))
+        q.append(self._gossip_minfo(si))
+        self._vg_del_row[ch._row] += p
+        ch._vd_base += p
+        self._vg_virtual_total -= p
         length = len(q)
         if length > st.max_queue_length:
             st.max_queue_length = length
-        key = (ch.src, ch.dst)
-        self._active.add(key)
-        self._vg_mat.add(key)
+        self._active.add((ch.src, ch.dst))
 
-    def _materialize_src(self, si: int, front: bool) -> None:
-        """Turn source ``si``'s in-flight virtual token into real messages.
+    def _materialize_oldest(self, ch: ArrayChannel) -> None:
+        """Materialize only the *oldest* in-flight token of ``ch``.
 
-        ``front=True`` places the ``MInfo`` at the head of each out-channel
-        (between rounds nothing physically queued can predate the token);
-        ``front=False`` appends (used *during* the timeout phase, where the
-        queue can only hold this round's earlier control messages).
-        ``sent`` was already counted at virtual-send time.  Channels whose
-        token was already materialized individually are skipped (their
-        lookahead delivered base is settled by the final per-source counter
-        bump, which replaces the bump the next drain would have applied).
+        Called by :meth:`_mint` just before the generation shift would
+        overwrite that token's snapshot; the newer token (if any) stays
+        virtual and survives the shift as the previous generation.
         """
-        inflight = self._vg_inflight
-        if not inflight[si]:
-            return
-        inflight[si] = False
-        msg = self._gossip_minfo(si)
-        v = self.kernel.node_ids[si]
-        out_lists = self._sync_structs()[1]
-        active = self._active
-        mat = self._vg_mat
-        for ch in out_lists[v]:
-            key = (ch.src, ch.dst)
-            if mat and key in mat:
-                mat.discard(key)
-                continue
-            st = ch.stats  # flush the pending virtual ``sent``
-            ch._vd_base += 1
-            q = ch._queue
-            if front:
-                q.appendleft(msg)
-            else:
-                q.append(msg)
-            length = len(q)
-            if length > st.max_queue_length:
-                st.max_queue_length = length
-            active.add(key)
-        self._vg_del_src[si] += 1
+        st = ch.stats  # flush the pending virtual ``sent`` first
+        q = ch._queue
+        q.append(self._gossip_minfo_old(ch._src_i))
+        self._vg_del_row[ch._row] += 1
+        ch._vd_base += 1
+        self._vg_virtual_total -= 1
+        length = len(q)
+        if length > st.max_queue_length:
+            st.max_queue_length = length
+        self._active.add((ch.src, ch.dst))
 
     def materialize_gossip(self) -> None:
         """Materialize every in-flight virtual gossip token.
@@ -1104,11 +1300,127 @@ class ArrayNetwork(Network):
         gossip snapshot columns, exactly what the fast path would have
         scattered.
         """
-        inflight = self._vg_inflight
-        if not inflight.any():
+        if not self._vg_virtual_total:
             return
-        for si in np.nonzero(inflight)[0].tolist():
-            self._materialize_src(si, front=True)
+        k = self.kernel
+        pending = self._vg_sent_src[k.nbr_node_idx] - self._vg_del_row
+        row_channel = self._vg_structs()[3]
+        for row in np.nonzero(pending > 0)[0].tolist():
+            self._materialize_channel(row_channel[row])
+
+    def _mint(self, S: np.ndarray, full: bool = False) -> int:
+        """Mint one gossip token per out-channel of the node indices ``S``.
+
+        The asynchronous/synchronous twin of a physical gossip broadcast:
+        any out-channel still holding the source's *previous*-generation
+        token materializes it (its snapshot buffer is about to be
+        reused), the snapshot generations shift (current -> previous), the
+        post-refresh state columns become the new current generation, and
+        the sent counters advance.  Returns the number of (virtual) sends;
+        the caller accounts version/stats/trace.
+        """
+        k = self.kernel
+        vm = self._vg_sent_src
+        dr = self._vg_del_row
+        structs = self._vg_structs()
+        if full:
+            stale = np.nonzero(dr < vm[k.nbr_node_idx] - 1)[0]
+        else:
+            out_flat, out_starts, out_counts = structs[0], structs[1], structs[2]
+            cnts = out_counts[S]
+            tot = int(cnts.sum())
+            starts = np.zeros(len(S), dtype=_I64)
+            np.cumsum(cnts[:-1], out=starts[1:])
+            R = out_flat[np.repeat(out_starts[S] - starts, cnts)
+                         + np.arange(tot, dtype=_I64)]
+            stale = R[dr[R] < vm[k.nbr_node_idx[R]] - 1]
+        if len(stale):
+            row_channel = structs[3]
+            for row in stale.tolist():
+                self._materialize_oldest(row_channel[row])
+        if full:
+            np.copyto(k.go_root, k.g_root)
+            np.copyto(k.go_parent, k.g_parent)
+            np.copyto(k.go_distance, k.g_distance)
+            np.copyto(k.go_degree, k.g_degree)
+            np.copyto(k.go_sub_max, k.g_sub_max)
+            np.copyto(k.go_dmax, k.g_dmax)
+            np.copyto(k.go_color, k.g_color)
+            np.copyto(k.g_root, k.root)
+            np.copyto(k.g_parent, k.parent)
+            np.copyto(k.g_distance, k.distance)
+            np.copyto(k.g_degree, k.degree)
+            np.copyto(k.g_sub_max, k.sub_max)
+            np.copyto(k.g_dmax, k.dmax)
+            np.copyto(k.g_color, k.color)
+            vm += 1
+            sends = k.total
+        else:
+            k.go_root[S] = k.g_root[S]
+            k.go_parent[S] = k.g_parent[S]
+            k.go_distance[S] = k.g_distance[S]
+            k.go_degree[S] = k.g_degree[S]
+            k.go_sub_max[S] = k.g_sub_max[S]
+            k.go_dmax[S] = k.g_dmax[S]
+            k.go_color[S] = k.g_color[S]
+            k.g_root[S] = k.root[S]
+            k.g_parent[S] = k.parent[S]
+            k.g_distance[S] = k.distance[S]
+            k.g_degree[S] = k.degree[S]
+            k.g_sub_max[S] = k.sub_max[S]
+            k.g_dmax[S] = k.dmax[S]
+            k.g_color[S] = k.color[S]
+            vm[S] += 1
+            sends = int(k._row_counts[S].sum())
+        self._vg_virtual_total += sends
+        self._pending_total += sends
+        return sends
+
+    def enabled_deliveries(self):
+        """Enabled deliveries with in-flight virtual tokens made visible.
+
+        The parent enumerates the active set, which tracks *physical*
+        queues only; had the tokens been physical sends their channels
+        would all be active, so the asynchronous schedulers (whose event
+        pools, and therefore rng draws, depend on this list) must see
+        them.  Channel order, the disabled-destination skip and the
+        per-channel counts (``len`` includes the tokens) match the parent
+        exactly.  In gossip-only steady state -- one token in flight on
+        every channel, no physical backlog -- the answer is the static
+        full channel list with count 1, served from a cache.
+        """
+        if not self._vg_virtual_total:
+            return super().enabled_deliveries()
+        k = self.kernel
+        counts = self._vg_sent_src[k.nbr_node_idx] - self._vg_del_row
+        if (not self._active and not self._disabled
+                and self._vg_virtual_total == k.total
+                and bool((counts == 1).all())):
+            cache = self._all_deliv_cache
+            if cache is None:
+                order = self._channel_order
+                keys = sorted(self.channels, key=order.__getitem__)
+                cache = [(src, dst, 1) for src, dst in keys]
+                self._all_deliv_cache = cache
+            return list(cache)
+        channels = self.channels
+        if self._active:
+            for key in self._active:
+                ch = channels[key]
+                counts[ch._row] += len(ch._queue)
+        structs = self._vg_structs()
+        row_key, row_order = structs[4], structs[5]
+        rows = np.nonzero(counts > 0)[0]
+        rows = rows[np.argsort(row_order[rows])]
+        disabled = self._disabled
+        enabled = []
+        counts_l = counts[rows].tolist()
+        for row, cnt in zip(rows.tolist(), counts_l):
+            src, dst = row_key[row]
+            if dst in disabled:
+                continue
+            enabled.append((src, dst, int(cnt)))
+        return enabled
 
     def snapshot_key(self) -> tuple:
         """Fingerprint the configuration straight from the state columns.
@@ -1160,37 +1472,54 @@ class ArrayNetwork(Network):
         in_lists, out_lists, all_keys, all_nodes = self._sync_structs()
         minfo_bits = self._minfo_bits
         dirty = self._dirty
-        inflight = self._vg_inflight
         active = self._active
+        vm = self._vg_sent_src
+        dr = self._vg_del_row
         # -- phase 1: drain the round-start backlog ----------------------------
-        # The gossip backlog is *virtual* (the in-flight mask): in the steady
-        # state this phase is a handful of array operations and never touches
-        # a channel object.  Physical messages exist only on the channels in
-        # the active set (control traffic, fault preloads, materialized
-        # tokens); their destinations are replayed through the slot loop in
-        # exact (dst, src, FIFO) order -- a source's virtual token sorts
-        # before anything physically queued on the same channel, matching
-        # the send order of the object backend.
+        # The gossip backlog is *virtual* (the sent/consumed counters): in
+        # the steady state this phase is a handful of array operations and
+        # never touches a channel object.  Physical messages exist only on
+        # the channels in the active set (control traffic, fault preloads,
+        # materialized tokens); their destinations are replayed through the
+        # slot loop in exact (dst, src, FIFO) order -- everything physically
+        # queued on a channel predates its in-flight token (the standing
+        # FIFO invariant), matching the send order of the object backend.
         mixed: List[Tuple[NodeId, List[object]]] = []
         phys_delivered = 0
-        has_virt = bool(inflight.any())
+        nvirt = 0
         rows = counts = dsti_arr = starts = None
         tok_dst_ids: Sequence[NodeId] = ()
         ntok = 0
-        if not active and has_virt and inflight.all():
-            # Steady state: every destination's backlog is exactly one token
-            # per in-edge, so the geometry is the cached full CSR layout.
+        virt_total = self._vg_virtual_total
+        if (not active and virt_total == k.total
+                and bool((vm[k.nbr_node_idx] - dr == 1).all())):
+            # Steady state: every destination's backlog is exactly one
+            # (current-generation) token per in-edge, so the geometry is the
+            # cached full CSR layout.
             rows = k._full_flat
             counts = k._row_counts
             starts = k._full_starts
             dsti_arr = k._all_idx
             tok_dst_ids = all_nodes
             ntok = k.total
+            nvirt = k.total
+            dr += 1
+            self._vg_virtual_total = 0
         else:
+            if virt_total:
+                # A synchronous history never leaves two generations in
+                # flight on one channel (each round drains everything the
+                # previous round minted); materialize the exception so the
+                # single-token fast geometry below stays sound.
+                multi = np.nonzero(vm[k.nbr_node_idx] - dr > 1)[0]
+                if len(multi):
+                    row_channel = self._vg_structs()[3]
+                    for row in multi.tolist():
+                        self._materialize_channel(row_channel[row])
             mixed_idx = (sorted({int(k.index[d]) for (_, d) in active})
                          if active else [])
-            if has_virt:
-                tok_mask = inflight[k.nbr_node_idx]
+            if self._vg_virtual_total:
+                tok_mask = vm[k.nbr_node_idx] > dr
                 for i in mixed_idx:
                     tok_mask[int(k.indptr[i]):int(k.indptr[i + 1])] = False
                 counts_all = np.add.reduceat(tok_mask.astype(_I64),
@@ -1203,14 +1532,16 @@ class ArrayNetwork(Network):
                 np.cumsum(counts[:-1], out=starts[1:])
                 tok_dst_ids = [k.node_ids[i] for i in dsti_arr.tolist()]
                 ntok = len(rows)
-            # Destinations with physical backlog: per-channel scalar drain.
-            mat = self._vg_mat
+                if ntok:
+                    dr[rows] += 1
+                    nvirt += ntok
+                    self._vg_virtual_total -= ntok
+            # Destinations with physical backlog: per-channel scalar drain,
+            # physical messages first, then the channel's in-flight token.
             for i in mixed_idx:
                 dst = k.node_ids[i]
                 seq: List[object] = []
                 for ch, row, src, si in in_lists[i][2]:
-                    if inflight[si] and (src, dst) not in mat:
-                        seq.append(row)
                     q = ch._queue
                     cnt = len(q)
                     if cnt:
@@ -1219,19 +1550,13 @@ class ArrayNetwork(Network):
                         phys_delivered += cnt
                         for _ in range(cnt):
                             seq.append((src, q.popleft()))
+                    if vm[si] > dr[row]:
+                        seq.append(row)
+                        dr[row] += 1
+                        nvirt += 1
+                        self._vg_virtual_total -= 1
                 if seq:
                     mixed.append((dst, seq))
-        nvirt = 0
-        if has_virt:
-            # Every in-flight token is part of some destination's backlog and
-            # a synchronous round drains the whole backlog, so the round trip
-            # completes for all of them: one delivery per out-channel --
-            # minus the tokens that were materialized individually, which
-            # were just popped and counted as physical deliveries above.
-            nvirt = int(k._row_counts[inflight].sum()) - len(self._vg_mat)
-            self._vg_del_src[inflight] += 1
-            inflight.fill(False)
-            self._vg_mat.clear()
         delivered = nvirt + phys_delivered
         if delivered:
             # Batched twin of per-message Channel.deliver() accounting: every
@@ -1294,10 +1619,6 @@ class ArrayNetwork(Network):
                     rec.steps += ntok
                     rec.deliveries += ntok
         # -- phase 2b: destinations with control traffic, slot by slot ---------
-        #: Channels that physically carried traffic this round before the
-        #: timeout phase; the sender's gossip token must materialize on them
-        #: *behind* those messages (its other channels stay virtual).
-        phys_sent: List[Tuple[NodeId, NodeId]] = []
         slot = 0
         while mixed:
             batch_rows: List[int] = []
@@ -1376,15 +1697,20 @@ class ArrayNetwork(Network):
                         rec = trace.rounds[-1]
                         rec.steps += count
                         rec.deliveries += count
+            if scalars:
+                # Batched control gate: Search/Deblock at a non-stabilized
+                # destination, UpdateDist from a non-parent and garbage are
+                # handler no-ops -- account them in bulk, skip the dispatch.
+                drop = mdst_scalar_gate(self, scalars)
+                if True in drop:
+                    dropped = [s for s, dr in zip(scalars, drop) if dr]
+                    scalars = [s for s, dr in zip(scalars, drop) if not dr]
+                    account_dropped_deliveries(self, trace, stats, dropped)
             for dst, src, msg in scalars:
                 process = processes[dst]
                 process.on_message(src, msg)
                 process.steps_taken += 1
                 self.note_step(dst)
-                items = process.outbox._items
-                if items:
-                    for dest, _m in items:
-                        phys_sent.append((dst, dest))
                 sent = self.flush_outbox(dst)
                 stats.steps += 1
                 stats.deliveries += 1
@@ -1404,54 +1730,18 @@ class ArrayNetwork(Network):
                             count=len(timeouts))
         enable_reduction = self._enable_reduction
         k.refresh(S, predicates=enable_reduction)
-        # Snapshot the gossip columns: every token sent below stands for the
-        # sender's post-refresh state at this instant.
-        if full:
-            np.copyto(k.g_root, k.root)
-            np.copyto(k.g_parent, k.parent)
-            np.copyto(k.g_distance, k.distance)
-            np.copyto(k.g_degree, k.degree)
-            np.copyto(k.g_sub_max, k.sub_max)
-            np.copyto(k.g_dmax, k.dmax)
-            np.copyto(k.g_color, k.color)
-        else:
-            k.g_root[S] = k.root[S]
-            k.g_parent[S] = k.parent[S]
-            k.g_distance[S] = k.distance[S]
-            k.g_degree[S] = k.degree[S]
-            k.g_sub_max[S] = k.sub_max[S]
-            k.g_dmax[S] = k.dmax[S]
-            k.g_color[S] = k.color[S]
         ls = k.locally_stab
         dmax = k.dmax
         n_to = len(timeouts)
         # Virtual gossip send: one in-flight token per node, standing for one
         # MInfo on each of its out-channels.  Channel objects are untouched;
-        # the per-source counters make the sends observable through
-        # ArrayChannel.stats.  A node that already sent physical control
-        # traffic this round (or is about to, below) materializes its token
-        # in place so the FIFO order on its channels stays exact.
-        if full:
-            self._vg_sent_src += 1
-            inflight.fill(True)
-            gossip_sends = k.total
-        else:
-            self._vg_sent_src[S] += 1
-            inflight[S] = True
-            gossip_sends = int(k._row_counts[S].sum())
-        self._pending_total += gossip_sends
+        # the mint shifts the gossip generations and snapshots the senders'
+        # post-refresh state into the current-generation columns.  Channels
+        # that carried control traffic earlier this round need no special
+        # step: the new token is logically *behind* every physical message
+        # (the standing FIFO invariant), exactly matching the send order.
+        gossip_sends = self._mint(S, full=full)
         sent_total = gossip_sends
-        if phys_sent:
-            # Channels that carried control traffic earlier this round: the
-            # sender's token goes physically behind those messages, on those
-            # channels only.  (Search initiators below need no such step:
-            # their send lands in ArrayChannel._enqueue, which materializes
-            # exactly the target channel, token first.)
-            channels = self.channels
-            for key in phys_sent:
-                ch = channels[key]
-                if ch._virtual():
-                    self._materialize_channel(ch, front=False)
         for j, v in enumerate(timeouts):
             process = processes[v]
             process._timeout_count += 1
@@ -1511,7 +1801,16 @@ class ArraySyncScheduler(SynchronousScheduler):
                        trace: Optional[TraceRecorder],
                        stats: RoundStats) -> None:
         if not isinstance(network, ArrayNetwork):
-            super().schedule_round(network, events, trace, stats)
+            # Substrate array networks (spanning tree, PIF) carry a column
+            # driver instead of virtual gossip; route them through the
+            # generic slot engine with a synchronous-shaped plan.
+            ops = getattr(network, "_array_ops", None)
+            if (ops is None or network._disabled
+                    or (trace is not None and trace.keep_events)):
+                super().schedule_round(network, events, trace, stats)
+                return
+            from .array_engine import execute_plan, sync_plan
+            execute_plan(network, ops, sync_plan(network, events), trace, stats)
             return
         if ((trace is not None and trace.keep_events)
                 or network._disabled):

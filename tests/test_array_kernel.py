@@ -94,15 +94,20 @@ class TestBackendGating:
             ProtocolRunConfig(backend="simd").validate()
 
     def test_registry_flags(self):
-        assert PROTOCOLS["mdst"].supports_array_backend
-        assert not PROTOCOLS["pif_max_degree"].supports_array_backend
-        assert not PROTOCOLS["spanning_tree"].supports_array_backend
+        for name in ("mdst", "pif_max_degree", "spanning_tree"):
+            assert PROTOCOLS[name].supports_array_backend
 
     def test_array_rejects_non_capable_protocol(self):
+        from repro.protocols.pif import PIFMaxDegreeProtocol
+
+        class NoArrayProtocol(PIFMaxDegreeProtocol):
+            supports_array_backend = False
+
         with pytest.raises(ConfigurationError, match="array backend"):
             run_protocol(_graph(8, 1),
                          ProtocolRunConfig(protocol="pif_max_degree",
-                                           backend="array"))
+                                           backend="array"),
+                         adapter=NoArrayProtocol())
 
     def test_array_rejects_churn(self):
         with pytest.raises(ConfigurationError, match="churn"):
@@ -165,7 +170,8 @@ class TestStepForStepProperty:
     @given(n=st.integers(min_value=6, max_value=20),
            graph_seed=st.integers(min_value=0, max_value=10_000),
            run_seed=st.integers(min_value=0, max_value=10_000),
-           scheduler=st.sampled_from(("synchronous", "random", "adversarial")),
+           scheduler=st.sampled_from(("synchronous", "random", "adversarial",
+                                      "weighted")),
            initial=st.sampled_from(("isolated", "corrupted")),
            fault=st.booleans())
     def test_array_equals_object(self, n, graph_seed, run_seed, scheduler,
@@ -177,9 +183,31 @@ class TestStepForStepProperty:
                              max_rounds=2500, fault_plan=plan)
         assert _result_key(obj) == _result_key(arr)
 
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(protocol=st.sampled_from(("mdst", "spanning_tree",
+                                     "pif_max_degree")),
+           graph_seed=st.integers(min_value=0, max_value=10_000),
+           run_seed=st.integers(min_value=0, max_value=10_000),
+           scheduler=st.sampled_from(("synchronous", "random", "adversarial",
+                                      "weighted")),
+           initial=st.sampled_from(("isolated", "corrupted")),
+           fault=st.booleans())
+    def test_array_equals_object_across_protocols(self, protocol, graph_seed,
+                                                  run_seed, scheduler,
+                                                  initial, fault):
+        """Every array-capable registry protocol is byte-identical."""
+        plan = (FaultPlan().add(15, node_fraction=0.5, channel_fraction=0.25)
+                if fault else None)
+        obj, arr = _run_both(_graph(14, graph_seed), protocol=protocol,
+                             scheduler=scheduler, initial=initial,
+                             seed=run_seed, max_rounds=2500, fault_plan=plan)
+        assert _result_key(obj) == _result_key(arr)
+
 
 class TestHashSeedDeterminism:
-    def test_array_run_is_hash_seed_independent(self):
+    @pytest.mark.parametrize("scheduler", ["synchronous", "random"])
+    def test_array_run_is_hash_seed_independent(self, scheduler):
         """Two subprocesses with different PYTHONHASHSEED agree exactly."""
         script = (
             "import sys, json, hashlib\n"
@@ -188,6 +216,7 @@ class TestHashSeedDeterminism:
             "from repro.runtime.tasks import run_protocol_task\n"
             "row = run_protocol_task(RunSpec(task='protocol',"
             " family='erdos_renyi_sparse', n=24, seed=7,"
+            f" scheduler={scheduler!r},"
             " initial='corrupted', max_rounds=600, backend='array')).row\n"
             "print(hashlib.md5(json.dumps(row, sort_keys=True,"
             " default=str).encode()).hexdigest())\n")
@@ -198,6 +227,33 @@ class TestHashSeedDeterminism:
                                   capture_output=True, text=True, check=True)
             digests.append(proc.stdout.strip())
         assert digests[0] == digests[1]
+
+
+class TestThroughputProfile:
+    def test_profile_param_profiles_the_array_round_loop(self):
+        """``profile=N`` under backend='array' ranks kernel work, not imports.
+
+        Runs in a subprocess so the array modules (and scipy) are cold:
+        before the pre-warm fix, the lazy import storm landed inside the
+        profiled region and importlib frames drowned the round loop.
+        """
+        script = (
+            "import sys, json\n"
+            f"sys.path.insert(0, {SRC!r})\n"
+            "from repro.runtime.spec import RunSpec\n"
+            "from repro.runtime.tasks import run_throughput_task\n"
+            "spec = RunSpec(task='throughput', family='erdos_renyi_sparse',"
+            " n=64, seed=3, max_rounds=30, stability_window=31,"
+            " backend='array').with_params(profile=15)\n"
+            "row = run_throughput_task(spec).row\n"
+            "print(json.dumps(row['profile_top']))\n")
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, check=True)
+        top = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert len(top) == 15
+        functions = [entry["function"] for entry in top]
+        assert not any("importlib" in f for f in functions), functions
+        assert any("array_kernel" in f for f in functions), functions
 
 
 class TestSchemaV5:

@@ -106,6 +106,7 @@ def test_protocols_subcommand_lists_registry(capsys):
     for name in ("mdst", "spanning_tree", "pif_max_degree"):
         assert name in out
     assert "churn" in out and "initial policies" in out
+    assert "array" in out
 
 
 def test_protocols_subcommand_json(capsys):
@@ -120,6 +121,26 @@ def test_protocols_subcommand_json(capsys):
         assert by_name[name]["lossy"] == "yes"
         assert by_name[name]["crash"] == "yes"
         assert by_name[name]["byzantine"] == "yes"
+        assert by_name[name]["array"] == "yes"
+
+
+def test_sweep_array_backend_fails_fast_for_non_capable_protocol(
+        capsys, monkeypatch):
+    """--backend array with a non-capable protocol is a pre-run CLI error."""
+    from repro.protocols.registry import PROTOCOLS
+
+    monkeypatch.setattr(PROTOCOLS["pif_max_degree"],
+                        "supports_array_backend", False)
+    assert main(["sweep", "--families", "wheel", "--sizes", "8",
+                 "--protocols", "mdst,pif_max_degree",
+                 "--backend", "array"]) == 1
+    captured = capsys.readouterr()
+    assert "pif_max_degree" in captured.err
+    assert "array backend" in captured.err
+    # capable protocols are suggested, and validation fires before the
+    # engine: no "sweep: N runs" banner
+    assert "mdst" in captured.err
+    assert "sweep:" not in captured.err
 
 
 def test_run_unknown_protocol_lists_registered_names(capsys):
