@@ -18,6 +18,17 @@ columns:
   random-async scheduler, exercising the array engine's slot-planned
   batched step path (``repro.sim.array_engine``).
 
+A second test, ``test_construction_scaling``, times *setup* rather than
+rounds: graph generation plus network construction for the heavy-tailed
+``powerlaw_cm`` family at n in {10_000, 50_000}, in three modes --
+``object`` (nx graph -> per-object ``build_mdst_network``), ``array_nx``
+(nx graph -> eager ``ArrayNetwork``), and ``csr_direct``
+(:class:`~repro.graphs.edge_array.EdgeArrayGraph` -> ``ArrayNetwork``
+straight from the cached CSR, per-object maps lazy).  Record mode gates
+``csr_direct`` at >= ``CONSTRUCTION_SPEEDUP_TARGET`` x faster than
+``object`` at n=10_000 (both build-only and end-to-end); smoke mode runs
+only the csr_direct n=10_000 case against its committed guard.
+
 Every number is a *marginal* cost, measured by two-budget warm-up
 subtraction: each configuration runs twice, once for ``warmup`` rounds
 and once for ``warmup + window`` rounds, and the reported seconds are the
@@ -68,8 +79,11 @@ import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from repro.core.protocol import build_mdst_network
+from repro.graphs.fast_generators import make_fast_graph
 from repro.runtime.engine import SweepEngine
 from repro.runtime.spec import RunSpec
+from repro.sim.array_kernel import build_array_mdst_network
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
@@ -124,6 +138,21 @@ ARRAY_SPEEDUP_TARGET = 5.0
 #: ...and over the random-async tier by at least this factor.
 ASYNC_SPEEDUP_TARGET = 3.0
 
+#: Construction tier: setup seconds (generation + network build) for the
+#: heavy-tailed configuration-model family, three build modes per size.
+CONSTRUCTION_FAMILY = "powerlaw_cm"
+CONSTRUCTION_SIZES: Tuple[int, ...] = (10_000, 50_000)
+CONSTRUCTION_MODES: Tuple[str, ...] = ("object", "array_nx", "csr_direct")
+
+#: Record-mode acceptance: at n=10_000 the CSR-direct build must beat the
+#: per-object build by at least this factor, both on build seconds alone
+#: and end to end (generation + build).
+CONSTRUCTION_SPEEDUP_TARGET = 10.0
+
+#: Smoke mode runs only this case (fast: tens of milliseconds) against
+#: the committed guard.
+CONSTRUCTION_SMOKE_N = 10_000
+
 
 def _workload_fingerprint() -> Dict[str, object]:
     return {
@@ -154,6 +183,32 @@ def _smoke_fingerprint() -> Dict[str, object]:
         "task": "throughput",
         "measurement": "two-budget warm-up subtraction",
     }
+
+
+def _construction_fingerprint() -> Dict[str, object]:
+    return {
+        "family": CONSTRUCTION_FAMILY,
+        "sizes": list(CONSTRUCTION_SIZES),
+        "modes": list(CONSTRUCTION_MODES),
+        "smoke_n": CONSTRUCTION_SMOKE_N,
+        "smoke_mode": "csr_direct",
+        "seed": SEED,
+        "measurement": "wall-clock generation + network build",
+    }
+
+
+def _merge_payload(updates: Dict[str, object]) -> None:
+    """Update ``BENCH_scaling.json`` in place, preserving other sections.
+
+    Both record-mode tests write through here so re-recording one test
+    does not drop the other's committed rows and guards.
+    """
+    data: Dict[str, object] = {}
+    if OUTPUT_PATH.exists():
+        data = json.loads(OUTPUT_PATH.read_text())
+    data.update(updates)
+    data["unix_time"] = int(time.time())
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def _timed_run(engine: SweepEngine, family: str, n: int, backend: str,
@@ -296,9 +351,8 @@ def test_scaling_throughput():
                                r["rounds_per_sec"] for r in smoke_rows},
             "guard_factor": SMOKE_GUARD_FACTOR,
         },
-        "unix_time": int(time.time()),
     }
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_payload(payload)
     print()
     print(f"scaling throughput (record): array {agg['array']} vs object "
           f"{agg['object']} rounds/sec aggregate -> {speedup}x; async "
@@ -317,3 +371,116 @@ def test_scaling_throughput():
         f"async array-backend aggregate {async_agg['array']} rounds/sec is "
         f"only {async_speedup}x the object backend ({async_agg['object']}); "
         f"the gate is {ASYNC_SPEEDUP_TARGET}x over the async tier")
+
+
+# ---------------------------------------------------------------------------
+# Construction tier: setup seconds, not rounds
+# ---------------------------------------------------------------------------
+
+def _construction_measure(n: int, mode: str) -> Dict[str, object]:
+    """Generation + build seconds for one (n, mode) configuration.
+
+    Every mode generates through the vectorized edge-array generator so
+    the build paths see the *same* graph; ``object`` and ``array_nx``
+    additionally pay the nx materialization (charged to generation --
+    it is part of producing the input those builds consume).
+    """
+    t0 = time.perf_counter()
+    eg = make_fast_graph(CONSTRUCTION_FAMILY, n, seed=SEED)
+    graph = eg if mode == "csr_direct" else eg.to_networkx()
+    generate_seconds = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if mode == "object":
+        network = build_mdst_network(graph)
+    else:
+        network = build_array_mdst_network(graph, n_upper=n + 1)
+    build_seconds = time.perf_counter() - t1
+
+    assert network.n == n
+    total = generate_seconds + build_seconds
+    return {
+        "family": CONSTRUCTION_FAMILY,
+        "n": n,
+        "mode": mode,
+        "generate_seconds": round(generate_seconds, 4),
+        "build_seconds": round(build_seconds, 4),
+        "total_seconds": round(total, 4),
+    }
+
+
+def test_construction_scaling():
+    record = os.environ.get("REPRO_BENCH_RECORD", "") == "1"
+
+    if not record:
+        row = _construction_measure(CONSTRUCTION_SMOKE_N, "csr_direct")
+        print()
+        print(f"construction (smoke, csr_direct): "
+              f"n={CONSTRUCTION_SMOKE_N} generate "
+              f"{row['generate_seconds']}s + build {row['build_seconds']}s "
+              f"= {row['total_seconds']}s")
+        guard = None
+        if OUTPUT_PATH.exists():
+            committed = json.loads(OUTPUT_PATH.read_text())
+            guard = committed.get("construction_smoke_guard")
+        if guard and guard.get("workload") == _construction_fingerprint():
+            recorded = float(guard["total_seconds"])
+            ceiling = recorded * SMOKE_GUARD_FACTOR
+            print(f"construction smoke guard: recorded {recorded}s, "
+                  f"ceiling {round(ceiling, 4)}s")
+            assert float(row["total_seconds"]) <= ceiling, (
+                f"csr_direct construction at n={CONSTRUCTION_SMOKE_N} took "
+                f"{row['total_seconds']}s, more than {SMOKE_GUARD_FACTOR}x "
+                f"the committed record {recorded}s (see BENCH_scaling.json)")
+        else:
+            print("construction smoke guard: no matching committed record, "
+                  "guard skipped")
+        return
+
+    # -- record mode: all sizes x modes, then the n=10k gate ---------------
+    rows = [_construction_measure(n, mode)
+            for n in CONSTRUCTION_SIZES for mode in CONSTRUCTION_MODES]
+    by_key = {(row["n"], row["mode"]): row for row in rows}
+    gate_n = 10_000
+    obj = by_key[(gate_n, "object")]
+    csr = by_key[(gate_n, "csr_direct")]
+    build_speedup = round(
+        float(obj["build_seconds"]) / max(float(csr["build_seconds"]), 1e-9),
+        2)
+    total_speedup = round(
+        float(obj["total_seconds"]) / max(float(csr["total_seconds"]), 1e-9),
+        2)
+    smoke_row = by_key[(CONSTRUCTION_SMOKE_N, "csr_direct")]
+    _merge_payload({
+        "construction_runs": rows,
+        "construction_speedup": {
+            "n": gate_n,
+            "build": build_speedup,
+            "total": total_speedup,
+            "target": CONSTRUCTION_SPEEDUP_TARGET,
+            "note": "object build seconds / csr_direct build seconds at "
+                    f"n={gate_n} ({CONSTRUCTION_FAMILY}); compare trends, "
+                    "not absolutes, across machines",
+        },
+        "construction_smoke_guard": {
+            "workload": _construction_fingerprint(),
+            "total_seconds": smoke_row["total_seconds"],
+            "guard_factor": SMOKE_GUARD_FACTOR,
+        },
+    })
+    print()
+    for row in rows:
+        print(f"  construction n={row['n']} {row['mode']}: generate "
+              f"{row['generate_seconds']}s + build {row['build_seconds']}s "
+              f"= {row['total_seconds']}s")
+    print(f"construction (record): csr_direct vs object at n={gate_n}: "
+          f"{build_speedup}x build, {total_speedup}x total "
+          f"-> {OUTPUT_PATH.name}")
+    assert build_speedup >= CONSTRUCTION_SPEEDUP_TARGET, (
+        f"csr_direct build at n={gate_n} is only {build_speedup}x faster "
+        f"than the object build; the gate is "
+        f"{CONSTRUCTION_SPEEDUP_TARGET}x")
+    assert total_speedup >= CONSTRUCTION_SPEEDUP_TARGET, (
+        f"csr_direct end-to-end setup at n={gate_n} is only "
+        f"{total_speedup}x faster than the object path; the gate is "
+        f"{CONSTRUCTION_SPEEDUP_TARGET}x")

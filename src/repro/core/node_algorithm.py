@@ -101,8 +101,7 @@ class MDSTNode(Process):
         # model of the paper provides this asymmetry for free, the jitter
         # reintroduces it under the synchronous scheduler (see DESIGN.md).
         self._jitter = np.random.default_rng((node_id * 2654435761 + 97) % (2**31 - 1))
-        self.s = MDSTState(node_id=node_id, neighbors=self.neighbors,
-                           n_upper=self.n_upper)
+        self.s = self._make_state()
         self.s.root = node_id
         self.s.parent = node_id
         self.s.distance = 0
@@ -127,6 +126,12 @@ class MDSTNode(Process):
             "deblocks_broadcast": 0,
             "attachments": 0,
         }
+
+    def _make_state(self) -> MDSTState:
+        """State-storage hook: backends override to supply column-backed
+        state without first paying for a throwaway per-object one."""
+        return MDSTState(node_id=self.node_id, neighbors=self.neighbors,
+                         n_upper=self.n_upper)
 
     # ======================================================================
     # Spanning-tree layer (rules R1 / R2 / R3)

@@ -282,6 +282,13 @@ def initialize_from_tree(network: Network, tree_edges: Iterable[Edge]) -> None:
 
 def initialize_isolated(network: Network) -> None:
     """Every node starts alone: own root, no tree edges, empty views."""
+    fast = getattr(network, "initialize_isolated_columns", None)
+    if fast is not None:
+        # Column-backed networks reset their shared arrays in one pass
+        # (and, on the CSR-direct build path, without materializing any
+        # per-node process at all).
+        fast()
+        return
     for v in network.node_ids:
         proc = network.processes[v]
         if not isinstance(proc, MDSTNode):

@@ -6,7 +6,25 @@ distributed protocol itself only sees a network through the simulator's
 adjacency interface (:class:`repro.sim.network.Network`).
 """
 
+from .edge_array import (
+    EdgeArrayGraph,
+    canonical_edge_arrays,
+    connect_components,
+    union_find_labels,
+)
+from .fast_generators import (
+    FAST_FAMILIES,
+    barabasi_albert_fast,
+    erdos_renyi_fast,
+    fast_family_names,
+    kronecker,
+    make_fast_graph,
+    powerlaw_cm,
+    random_geometric_fast,
+    small_world_fast,
+)
 from .generators import (
+    FAMILY_PARAMS,
     GRAPH_FAMILIES,
     barabasi_albert_graph,
     barbell_graph,
@@ -15,6 +33,7 @@ from .generators import (
     cycle_graph,
     dense_hamiltonian_graph,
     erdos_renyi_connected,
+    family_info,
     family_names,
     grid_graph,
     hard_hub_graph,
@@ -30,6 +49,7 @@ from .generators import (
     star_of_cliques,
     torus_graph,
     two_hub_graph,
+    validate_graph_params,
     watts_strogatz_connected,
     wheel_graph,
 )

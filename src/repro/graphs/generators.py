@@ -28,12 +28,13 @@ algorithm in qualitatively different regimes:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable
+from typing import Callable, Dict, Iterable, Mapping, Optional
 
 import networkx as nx
 import numpy as np
 
 from ..exceptions import GraphError
+from .fast_generators import FAST_FAMILIES, make_fast_graph
 
 __all__ = [
     "complete_graph",
@@ -59,8 +60,11 @@ __all__ = [
     "dense_hamiltonian_graph",
     "two_hub_graph",
     "GRAPH_FAMILIES",
+    "FAMILY_PARAMS",
     "make_graph",
     "family_names",
+    "family_info",
+    "validate_graph_params",
 ]
 
 
@@ -439,15 +443,21 @@ GRAPH_FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
     "torus": lambda n, seed=None: torus_graph(max(int(round(math.sqrt(n))), 3),
                                               max(int(round(math.sqrt(n))), 3)),
     "hypercube": lambda n, seed=None: hypercube_graph(max(int(round(math.log2(max(n, 2)))), 1)),
-    "ring_with_chords": lambda n, seed=None: ring_with_chords(max(n, 4), max(n // 3, 1), seed=seed),
-    "erdos_renyi_sparse": lambda n, seed=None: erdos_renyi_connected(
-        n, min(1.0, 2.5 * math.log(max(n, 2)) / max(n, 2)), seed=seed),
-    "erdos_renyi_dense": lambda n, seed=None: erdos_renyi_connected(n, 0.5, seed=seed),
-    "random_geometric": lambda n, seed=None: random_geometric_connected(n, seed=seed),
-    "barabasi_albert": lambda n, seed=None: barabasi_albert_graph(max(n, 3), 2, seed=seed),
-    "watts_strogatz": lambda n, seed=None: watts_strogatz_connected(max(n, 5), 4, 0.2, seed=seed),
-    "random_regular": lambda n, seed=None: random_regular_connected(
-        n if (n * 3) % 2 == 0 else n + 1, 3, seed=seed),
+    "ring_with_chords": lambda n, seed=None, chords=None: ring_with_chords(
+        max(n, 4), max(n // 3, 1) if chords is None else int(chords), seed=seed),
+    "erdos_renyi_sparse": lambda n, seed=None, p=None: erdos_renyi_connected(
+        n, min(1.0, 2.5 * math.log(max(n, 2)) / max(n, 2)) if p is None else p,
+        seed=seed),
+    "erdos_renyi_dense": lambda n, seed=None, p=0.5: erdos_renyi_connected(
+        n, p, seed=seed),
+    "random_geometric": lambda n, seed=None, radius=None:
+        random_geometric_connected(n, radius=radius, seed=seed),
+    "barabasi_albert": lambda n, seed=None, m=2: barabasi_albert_graph(
+        max(n, 3), int(m), seed=seed),
+    "watts_strogatz": lambda n, seed=None, k=4, p=0.2:
+        watts_strogatz_connected(max(n, 5), int(k), p, seed=seed),
+    "random_regular": lambda n, seed=None, d=3: random_regular_connected(
+        n if (n * int(d)) % 2 == 0 else n + 1, int(d), seed=seed),
     "star_of_cliques": lambda n, seed=None: star_of_cliques(max(n // 5, 2), 4),
     "barbell": lambda n, seed=None: barbell_graph(
         max(n // 2, 3), max(n - 2 * max(n // 2, 3), 0)),
@@ -461,12 +471,94 @@ GRAPH_FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
 }
 
 
+def _register_fast_families() -> None:
+    """Expose every array-native family through the object registry too.
+
+    The object-path entry materializes ``to_networkx()`` of the *same*
+    :class:`~repro.graphs.edge_array.EdgeArrayGraph` the array backend
+    consumes directly, so both backends always sample the identical graph
+    for a given ``(family, n, seed, params)``.
+    """
+    for fast_name in FAST_FAMILIES:
+        def entry(n, seed=None, _f=fast_name, **params):
+            return make_fast_graph(_f, n, seed=seed, **params).to_networkx()
+        GRAPH_FAMILIES[fast_name] = entry
+
+
+_register_fast_families()
+
+
+#: Family-specific knobs accepted by :func:`make_graph` (and threaded from
+#: ``repro run --graph-param key=value``).  Families not listed accept no
+#: parameters; unknown keys fail fast with the allowed set in the message.
+FAMILY_PARAMS: Dict[str, tuple] = {
+    "ring_with_chords": ("chords",),
+    "erdos_renyi_sparse": ("p",),
+    "erdos_renyi_dense": ("p",),
+    "random_geometric": ("radius",),
+    "barabasi_albert": ("m",),
+    "watts_strogatz": ("k", "p"),
+    "random_regular": ("d",),
+    "erdos_renyi_fast": ("p",),
+    "random_geometric_fast": ("radius",),
+    "barabasi_albert_fast": ("m",),
+    "powerlaw_cm": ("exponent", "min_degree"),
+    "small_world_fast": ("k", "p"),
+    "kronecker": ("edge_factor", "a", "b", "c"),
+}
+
+
 def family_names() -> list[str]:
     """Sorted list of registered graph family names."""
     return sorted(GRAPH_FAMILIES)
 
 
-def make_graph(family: str, n: int, seed: int | None = None) -> nx.Graph:
+def validate_graph_params(family: str,
+                          params: Optional[Mapping[str, object]]) -> None:
+    """Fail fast on parameters a family does not understand.
+
+    Called by :func:`make_graph` and by the CLI before any sweep expands,
+    so a typo'd ``--graph-param`` never reaches a worker process.
+    """
+    if family not in GRAPH_FAMILIES:
+        raise GraphError(
+            f"unknown graph family {family!r}; known: {family_names()}")
+    if not params:
+        return
+    allowed = FAMILY_PARAMS.get(family, ())
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        accepts = (f"accepts {sorted(allowed)}" if allowed
+                   else "accepts no parameters")
+        raise GraphError(
+            f"family {family!r} got unknown graph parameters {unknown}; "
+            f"it {accepts}")
+
+
+def family_info() -> list[dict]:
+    """Rows describing every registered family (the ``repro graphs`` view).
+
+    ``array_fast`` marks families with an array-native generator (usable
+    with the CSR-direct construction path of ``--backend array``);
+    ``params`` lists the ``--graph-param`` keys the family accepts and
+    ``size_hint`` the practical instance-size envelope.
+    """
+    rows = []
+    for name in family_names():
+        fast = name in FAST_FAMILIES
+        rows.append({
+            "family": name,
+            "array_fast": fast,
+            "params": list(FAMILY_PARAMS.get(name, ())),
+            "size_hint": ("vectorized construction; n up to ~100k"
+                          if fast else
+                          "object construction; keep n below ~5k"),
+        })
+    return rows
+
+
+def make_graph(family: str, n: int, seed: int | None = None,
+               params: Optional[Mapping[str, object]] = None) -> nx.Graph:
     """Instantiate a registered graph family with ~``n`` nodes.
 
     Parameters
@@ -478,11 +570,11 @@ def make_graph(family: str, n: int, seed: int | None = None) -> nx.Graph:
         round it, e.g. grids round to a square).
     seed:
         Seed for random families; ignored by deterministic ones.
+    params:
+        Family-specific knobs (see :data:`FAMILY_PARAMS`), e.g.
+        ``{"m": 3}`` for ``barabasi_albert`` or ``{"exponent": 2.2}`` for
+        ``powerlaw_cm``.  Unknown keys raise :class:`GraphError`.
     """
-    try:
-        factory = GRAPH_FAMILIES[family]
-    except KeyError as exc:
-        raise GraphError(
-            f"unknown graph family {family!r}; known: {family_names()}"
-        ) from exc
-    return factory(n, seed=seed)
+    validate_graph_params(family, params)
+    factory = GRAPH_FAMILIES[family]
+    return factory(n, seed=seed, **dict(params or {}))

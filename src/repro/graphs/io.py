@@ -8,6 +8,7 @@ consumed by external tools and diffed by humans.
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import Dict, Iterable
@@ -43,26 +44,56 @@ def write_edge_list(graph: nx.Graph, path: str | Path) -> None:
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
+def _read_text_maybe_gzip(path: Path) -> str:
+    """File contents, transparently decompressing ``.gz`` archives."""
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return fh.read()
+    return path.read_text(encoding="utf-8")
+
+
 def read_edge_list(path: str | Path) -> nx.Graph:
-    """Read a graph previously written by :func:`write_edge_list`."""
+    """Read a whitespace-separated edge list, tolerantly.
+
+    Accepts our own :func:`write_edge_list` output and the common
+    real-topology variants (SNAP / Pajek exports):
+
+    * gzip-compressed files (any path ending in ``.gz``);
+    * ``#`` and ``%`` comment lines, including SNAP's
+      ``# Nodes: N Edges: M`` header (the node count is honoured so
+      trailing isolated ids round-trip);
+    * arbitrary whitespace (tabs, runs of spaces) between columns;
+    * extra trailing columns (edge weights/timestamps are ignored);
+    * self-loop lines, which are dropped (our networks are simple).
+    """
     path = Path(path)
     g = nx.Graph()
     declared_nodes: int | None = None
-    for raw in path.read_text(encoding="utf-8").splitlines():
+    for raw in _read_text_maybe_gzip(path).splitlines():
         line = raw.strip()
         if not line:
             continue
-        if line.startswith("#"):
-            parts = line[1:].split()
-            if len(parts) == 2 and parts[0] == "nodes":
-                declared_nodes = int(parts[1])
-            elif len(parts) == 2 and parts[0] == "family":
+        if line[0] in "#%":
+            parts = line[1:].replace(":", " ").split()
+            lowered = [p.lower() for p in parts]
+            if len(parts) >= 2 and lowered[0] == "nodes":
+                try:
+                    declared_nodes = int(parts[1])
+                except ValueError:
+                    pass
+            elif len(parts) >= 2 and lowered[0] == "family":
                 g.graph["family"] = parts[1]
             continue
         parts = line.split()
-        if len(parts) != 2:
+        if len(parts) < 2:
             raise GraphError(f"malformed edge-list line: {raw!r}")
-        g.add_edge(int(parts[0]), int(parts[1]))
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"malformed edge-list line: {raw!r}") from exc
+        if u == v:
+            continue
+        g.add_edge(u, v)
     if declared_nodes is not None:
         g.add_nodes_from(range(declared_nodes))
     return g

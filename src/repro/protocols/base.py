@@ -201,6 +201,12 @@ class ProtocolAdapter(abc.ABC):
     #: opting in must implement :meth:`build_array_network` and guarantee
     #: byte-identical results against their object backend.
     supports_array_backend: bool = False
+    #: Whether :meth:`build_array_network` additionally accepts an
+    #: :class:`~repro.graphs.edge_array.EdgeArrayGraph` and builds its
+    #: kernel straight from the container's CSR (the large-n construction
+    #: fast path).  Adapters without it receive a materialized ``nx.Graph``
+    #: from the runner instead.
+    supports_csr_direct: bool = False
 
     # -- abstract hooks --------------------------------------------------------
 

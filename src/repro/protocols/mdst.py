@@ -54,6 +54,9 @@ class MDSTProtocol(ProtocolAdapter):
     # The array kernel reproduces the MDST node byte-for-byte (guarded by
     # the E2 md5 anchors and the object≡array hypothesis property).
     supports_array_backend = True
+    # build_array_network accepts EdgeArrayGraph containers and builds the
+    # kernel straight from their CSR (construction never touches nx).
+    supports_csr_direct = True
 
     @staticmethod
     def _mdst_config(config: ProtocolRunConfig) -> MDSTConfig:

@@ -21,6 +21,7 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..graphs.edge_array import EdgeArrayGraph
 from ..sim.adversary import Adversary
 from ..sim.faults import ChurnPlan, FaultPlan
 from ..sim.scheduler import make_scheduler
@@ -155,6 +156,13 @@ def run_protocol(graph: nx.Graph,
         if adversary is not None:
             raise ConfigurationError(
                 "backend='array' does not support adversary models")
+    if isinstance(graph, EdgeArrayGraph) and not (
+            config.backend == "array"
+            and getattr(adapter, "supports_csr_direct", False)):
+        # Callers may hand any adapter an edge-array container; only
+        # CSR-direct adapters consume it natively, everyone else gets the
+        # equivalent nx graph (identical canonical insertion order).
+        graph = graph.to_networkx()
     rng = np.random.default_rng(config.seed)
     if config.backend == "array":
         network = adapter.build_array_network(graph, config)

@@ -1,10 +1,12 @@
 """``repro`` -- command-line interface to the reproduction.
 
-Five subcommands, all thin wrappers over :mod:`repro.runtime`:
+Six subcommands, all thin wrappers over :mod:`repro.runtime`:
 
 ``repro run``
     One protocol run on one graph instance; prints the result row.
-    ``--protocol`` picks any entry of the protocol registry.
+    ``--protocol`` picks any entry of the protocol registry,
+    ``--graph-param key=value`` tunes the generator, ``--graph-file``
+    substitutes an edge list from disk for the generated family.
 ``repro sweep``
     A ``family x size x seed x scheduler x initial x protocol`` matrix
     executed by the parallel sweep engine, with optional on-disk caching
@@ -17,6 +19,10 @@ Five subcommands, all thin wrappers over :mod:`repro.runtime`:
 ``repro protocols``
     List the registered protocols (the :data:`repro.protocols.PROTOCOLS`
     registry) with their capabilities.
+``repro graphs``
+    List the registered graph families with their tunable parameters,
+    whether each has a vectorized (array-fast) generator, and the
+    practical size range.
 
 The module doubles as an executable (``python -m repro.runtime.cli``) and
 is installed as the ``repro`` console script by ``setup.py``.  All data
@@ -36,7 +42,8 @@ from ..analysis.convergence import aggregate_records
 from ..analysis.reporting import ExperimentReport
 from ..analysis.tables import format_table
 from ..exceptions import ReproError
-from ..graphs.generators import GRAPH_FAMILIES, family_names
+from ..graphs.generators import (GRAPH_FAMILIES, family_info, family_names,
+                                 validate_graph_params)
 from ..protocols import (PROTOCOLS, capable_names, churn_capable_names,
                          protocol_names)
 from .cache import ResultCache
@@ -64,6 +71,31 @@ def _csv_ints(text: str) -> List[int]:
 
 def _status(message: str) -> None:
     print(message, file=sys.stderr)
+
+
+def _parse_graph_params(pairs: Optional[Sequence[str]]) -> dict:
+    """``--graph-param key=value`` pairs as a dict, values coerced.
+
+    Values try int, then float, then stay strings -- the generator
+    signatures take numbers, so the common case round-trips without
+    quoting gymnastics.
+    """
+    params: dict = {}
+    for item in pairs or ():
+        key, sep, raw = item.partition("=")
+        key, raw = key.strip(), raw.strip()
+        if not sep or not key or not raw:
+            raise ReproError(
+                f"--graph-param expects key=value (got {item!r})")
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key] = value
+    return params
 
 
 def _check_families(families: Sequence[str]) -> None:
@@ -98,7 +130,18 @@ def _check_protocols(protocols: Sequence[str]) -> None:
 # ---------------------------------------------------------------------------
 
 def cmd_run(args: argparse.Namespace) -> int:
-    _check_families([args.family])
+    graph_params = _parse_graph_params(args.graph_param)
+    if args.graph_file:
+        # The file defines the instance; family/n/params would silently
+        # not apply, so reject the combination outright.
+        if graph_params:
+            raise ReproError("--graph-param cannot be combined with "
+                             "--graph-file (the file defines the instance)")
+    else:
+        _check_families([args.family])
+        # Unknown parameter keys fail here, before any work is dispatched
+        # (same rationale as _check_families).
+        validate_graph_params(args.family, graph_params)
     _check_protocols([args.protocol])
     # Only the churn task reads the churn knobs; silently ignoring them
     # would let a static-topology row masquerade as a churn measurement.
@@ -132,6 +175,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         byzantine_start=args.byzantine_start,
         byzantine_rounds=args.byzantine_rounds,
         backend=args.backend,
+        graph_params=tuple(sorted(graph_params.items())),
+        graph_file=args.graph_file,
     )
     outcome = execute_spec(spec)
     if args.json:
@@ -261,7 +306,9 @@ def _check_backend_flags(args: argparse.Namespace,
 
 
 def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
+    graph_params = _parse_graph_params(args.graph_param)
     return SweepSpec(
+        graph_params=tuple(sorted(graph_params.items())),
         families=tuple(args.families),
         sizes=tuple(args.sizes),
         repetitions=args.repetitions,
@@ -292,6 +339,10 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     _check_families(args.families)
+    graph_params = _parse_graph_params(args.graph_param)
+    for family in args.families:
+        # Every family of the matrix must accept every parameter key.
+        validate_graph_params(family, graph_params)
     _check_protocols(args.protocols)
     _check_churn_flags(args)
     _check_fault_flags(args)
@@ -393,6 +444,24 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_graphs(args: argparse.Namespace) -> int:
+    """List the registered graph families, their parameters and size hints."""
+    info = family_info()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for entry in info:
+        rows.append({
+            "family": entry["family"],
+            "array-fast": "yes" if entry["array_fast"] else "no",
+            "params": ", ".join(entry["params"]) if entry["params"] else "-",
+            "size hint": entry["size_hint"],
+        })
+    print(format_table(rows, title="registered graph families"))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     for path in args.paths:
         try:
@@ -452,8 +521,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run the protocol once on one graph")
     run.add_argument("--family", default="erdos_renyi_sparse",
-                     help="graph family (see repro.graphs.generators)")
+                     help="graph family (see `repro graphs`)")
     run.add_argument("--n", type=int, default=16, help="target node count")
+    run.add_argument("--graph-param", action="append", default=None,
+                     metavar="KEY=VALUE",
+                     help="generator parameter, repeatable (e.g. "
+                          "--graph-param p=0.05; see `repro graphs` for "
+                          "each family's keys)")
+    run.add_argument("--graph-file", default=None, metavar="PATH",
+                     help="run on this edge-list file (plain or .gz; "
+                          "'#'/'%%' comments and SNAP headers accepted) "
+                          "instead of a generated family")
     run.add_argument("--seed", type=int, default=1, help="graph + run seed")
     run.add_argument("--scheduler", default="synchronous",
                      choices=("synchronous", "random", "adversarial",
@@ -492,6 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated graph families")
     sweep.add_argument("--sizes", type=_csv_ints, default=[12, 16],
                        help="comma-separated node counts")
+    sweep.add_argument("--graph-param", action="append", default=None,
+                       metavar="KEY=VALUE",
+                       help="generator parameter applied to every family "
+                            "of the matrix, repeatable (see `repro graphs`)")
     sweep.add_argument("--repetitions", type=int, default=1)
     sweep.add_argument("--master-seed", type=int, default=0,
                        help="per-repetition seeds are derived from this")
@@ -559,6 +641,12 @@ def build_parser() -> argparse.ArgumentParser:
     protocols.add_argument("--json", action="store_true",
                            help="print the registry as JSON")
     protocols.set_defaults(func=cmd_protocols)
+
+    graphs = sub.add_parser(
+        "graphs", help="list the registered graph families")
+    graphs.add_argument("--json", action="store_true",
+                        help="print the family registry as JSON")
+    graphs.set_defaults(func=cmd_graphs)
     return parser
 
 

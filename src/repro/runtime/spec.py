@@ -31,7 +31,9 @@ import networkx as nx
 
 from ..core.protocol import MDSTConfig
 from ..exceptions import ConfigurationError
-from ..graphs.generators import make_graph
+from ..graphs.fast_generators import FAST_FAMILIES, make_fast_graph
+from ..graphs.generators import make_graph, validate_graph_params
+from ..graphs.io import read_edge_list
 from ..protocols.base import ProtocolRunConfig
 from ..sim.adversary import (Adversary, ByzantineModel, NodeFaultModel,
                              make_channel_model)
@@ -52,7 +54,11 @@ __all__ = ["RunSpec", "SweepSpec", "spec_key", "CACHE_SCHEMA_VERSION"]
 #: kernel); legacy dicts without the key deserialize to ``"object"``.  The
 #: backends are byte-identical, but the key must still distinguish them so
 #: per-backend timing rows (throughput, benchmarks) never alias.
-CACHE_SCHEMA_VERSION = 5
+#: 6: RunSpec grew the workload-instance knobs ``graph_params`` (per-family
+#: generator parameters) and ``graph_file`` (run on an edge list from disk
+#: instead of a generated family); legacy dicts deserialize to the
+#: parameter-free generated defaults.
+CACHE_SCHEMA_VERSION = 6
 
 #: Stream index for deriving a run's churn-plan seed from its master seed
 #: (decoupled from the repetition streams used by :class:`SweepSpec`).
@@ -117,6 +123,16 @@ class RunSpec:
         backends; the field is seed-free and only changes how rounds are
         executed, but it is part of the cache key so per-backend timing
         rows never alias.
+    graph_params:
+        Per-family generator parameters as a sorted tuple of ``(key,
+        value)`` pairs (e.g. ``(("p", 0.05),)`` for an Erdos-Renyi family),
+        validated against :data:`repro.graphs.generators.FAMILY_PARAMS`
+        before the generator runs.
+    graph_file:
+        When set, the workload comes from this edge-list file on disk
+        (:func:`repro.graphs.io.read_edge_list`; gzip and SNAP-style
+        headers accepted) instead of a generated family, and ``family``/
+        ``n``/``graph_params`` are ignored.
     params:
         Task-specific extras as a sorted tuple of ``(key, value)`` pairs so
         the spec stays hashable; use :meth:`param` to read them.
@@ -147,18 +163,42 @@ class RunSpec:
     byzantine_start: int = 10
     byzantine_rounds: int = 20
     backend: str = "object"
+    graph_params: Tuple[Tuple[str, object], ...] = ()
+    graph_file: Optional[str] = None
     params: Tuple[Tuple[str, object], ...] = ()
 
     # -- derived views ---------------------------------------------------------
 
-    def build_graph(self) -> nx.Graph:
+    def build_graph(self):
         """Instantiate the workload graph ``(family, n, seed)``.
 
         Equivalent to ``WorkloadInstance(family, n, seed).build()``; the
         runtime layer goes straight to the generator registry so it stays
         below :mod:`repro.experiments` in the import graph.
+
+        Three routes:
+
+        * ``graph_file`` set: read the edge list from disk (``family``/
+          ``n``/``graph_params`` are ignored; the actual node and edge
+          counts land in the result rows).
+        * Array-backend protocol run of a vectorized family: return the
+          :class:`~repro.graphs.edge_array.EdgeArrayGraph` itself so the
+          CSR-direct network build never materializes an ``nx.Graph``.
+        * Everything else: the nx generator registry.
         """
-        return make_graph(self.family, self.n, seed=self.seed)
+        if self.graph_file:
+            graph = read_edge_list(self.graph_file)
+            graph.graph.setdefault("family", "file")
+            return graph
+        params = dict(self.graph_params)
+        validate_graph_params(self.family, params)
+        if (self.backend == "array"
+                and self.task in ("protocol", "throughput")
+                and self.family in FAST_FAMILIES):
+            return make_fast_graph(self.family, self.n, seed=self.seed,
+                                   **params)
+        return make_graph(self.family, self.n, seed=self.seed,
+                          params=params or None)
 
     @property
     def churn_enabled(self) -> bool:
@@ -313,6 +353,8 @@ class RunSpec:
             "byzantine_start": self.byzantine_start,
             "byzantine_rounds": self.byzantine_rounds,
             "backend": self.backend,
+            "graph_params": [list(item) for item in self.graph_params],
+            "graph_file": self.graph_file,
             "params": [list(item) for item in self.params],
         }
 
@@ -324,8 +366,10 @@ class RunSpec:
             raise ConfigurationError(f"unknown RunSpec fields: {sorted(unknown)}")
         payload = dict(data)
         params = payload.pop("params", ())
+        graph_params = payload.pop("graph_params", ())
         spec = RunSpec(**payload)  # type: ignore[arg-type]
-        return replace(spec, params=tuple((str(k), v) for k, v in params))
+        return replace(spec, params=tuple((str(k), v) for k, v in params),
+                       graph_params=tuple((str(k), v) for k, v in graph_params))
 
 
 def spec_key(spec: RunSpec) -> str:
@@ -362,7 +406,8 @@ class SweepSpec:
     ``crash_*``/``byzantine_*``) are forwarded verbatim to every expanded
     :class:`RunSpec`, so one sweep can put every protocol through the same
     transient-fault, topology-churn or adversary scenario.  ``backend``
-    selects the simulation kernel for every expanded run.
+    selects the simulation kernel and ``graph_params`` the per-family
+    generator parameters for every expanded run.
     """
 
     families: Tuple[str, ...] = ("erdos_renyi_sparse",)
@@ -390,6 +435,7 @@ class SweepSpec:
     byzantine_start: int = 10
     byzantine_rounds: int = 20
     backend: str = "object"
+    graph_params: Tuple[Tuple[str, object], ...] = ()
 
     def seed_for(self, repetition: int) -> int:
         if self.seeds:
@@ -442,5 +488,6 @@ class SweepSpec:
                                     byzantine_start=self.byzantine_start,
                                     byzantine_rounds=self.byzantine_rounds,
                                     backend=self.backend,
+                                    graph_params=self.graph_params,
                                 ))
         return specs

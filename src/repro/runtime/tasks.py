@@ -164,6 +164,15 @@ def _require_mdst(spec: RunSpec) -> None:
             f"for other registry entries)")
 
 
+def _family_of(spec: RunSpec, graph) -> str:
+    """The family column: for ``graph_file`` runs the file defines the
+    instance, so the tag read from its header (or ``"file"``) replaces the
+    spec's meaningless family default."""
+    if spec.graph_file:
+        return str(graph.graph.get("family", "file"))
+    return spec.family
+
+
 def _identify(spec: RunSpec, graph) -> Dict[str, object]:
     """The leading identity columns shared by the protocol-style rows.
 
@@ -174,7 +183,7 @@ def _identify(spec: RunSpec, graph) -> Dict[str, object]:
     historical shape.
     """
     row: Dict[str, object] = {
-        "family": spec.family,
+        "family": _family_of(spec, graph),
         "n": graph.number_of_nodes(),
         "m": graph.number_of_edges(),
         "seed": spec.seed,
@@ -185,6 +194,10 @@ def _identify(spec: RunSpec, graph) -> Dict[str, object]:
         row["protocol"] = spec.protocol
     if spec.backend != "object":
         row["backend"] = spec.backend
+    if spec.graph_params:
+        row["graph_params"] = dict(spec.graph_params)
+    if spec.graph_file:
+        row["graph_file"] = spec.graph_file
     return row
 
 
@@ -263,7 +276,7 @@ def run_reference_task(spec: RunSpec) -> RunOutcome:
     initial = bfs_spanning_tree(graph)
     result = ReferenceMDST(graph, initial_tree=initial).run()
     row = {
-        "family": spec.family,
+        "family": _family_of(spec, graph),
         "n": graph.number_of_nodes(),
         "m": graph.number_of_edges(),
         "seed": spec.seed,
@@ -280,7 +293,7 @@ def run_memory_task(spec: RunSpec) -> RunOutcome:
     graph = spec.build_graph()
     network = build_mdst_network(graph, spec.mdst_config())
     row = memory_report(network).as_dict()
-    row["family"] = spec.family
+    row["family"] = _family_of(spec, graph)
     row["seed"] = spec.seed
     return RunOutcome(spec=spec, row=row)
 
@@ -297,7 +310,7 @@ def run_quality_task(spec: RunSpec) -> RunOutcome:
     reference = ReferenceMDST(graph).run()
     fr = fuerer_raghavachari(graph)
     row: Dict[str, object] = {
-        "family": spec.family,
+        "family": _family_of(spec, graph),
         "n": graph.number_of_nodes(),
         "m": graph.number_of_edges(),
         "seed": spec.seed,
@@ -331,7 +344,7 @@ def run_baselines_task(spec: RunSpec) -> RunOutcome:
     reference = ReferenceMDST(graph).run()
     local = greedy_local_search(graph)
     row: Dict[str, object] = {
-        "family": spec.family,
+        "family": _family_of(spec, graph),
         "n": graph.number_of_nodes(),
         "m": graph.number_of_edges(),
         "seed": spec.seed,

@@ -47,6 +47,7 @@ configuration (see ``tests/test_array_kernel.py``).
 from __future__ import annotations
 
 import hashlib
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -54,7 +55,8 @@ import numpy as np
 
 from ..core.messages import Deblock, MInfo, Search, UpdateDist
 from ..core.node_algorithm import MDSTNode
-from ..exceptions import SimulationError
+from ..exceptions import ProtocolError, SimulationError
+from ..graphs.edge_array import EdgeArrayGraph
 from ..types import NodeId
 from .channel import Channel
 from .messages import GarbageMessage
@@ -136,12 +138,26 @@ class ArrayKernel:
     vectorized round operates on these columns directly.
     """
 
-    def __init__(self, graph: nx.Graph, n_upper: int):
-        self.node_ids: List[NodeId] = sorted(graph.nodes)
-        self.n = len(self.node_ids)
-        self.n_upper = int(n_upper)
-        self.index, self.indptr, self.nbr_idx, self.nbr_ids = _build_csr(
-            graph, self.node_ids)
+    def __init__(self, graph: "nx.Graph | EdgeArrayGraph", n_upper: int):
+        if isinstance(graph, EdgeArrayGraph):
+            # CSR-direct: the container's cached CSR *is* the kernel
+            # topology.  Node ids are the contiguous 0..n-1, so index,
+            # neighbour indices and neighbour ids all coincide and no
+            # per-edge Python loop runs.
+            self.node_ids = list(range(graph.n))
+            self.n = graph.n
+            self.n_upper = int(n_upper)
+            indptr, nbr = graph.csr()
+            self.index = {v: v for v in self.node_ids}
+            self.indptr = indptr
+            self.nbr_idx = nbr
+            self.nbr_ids = nbr
+        else:
+            self.node_ids = sorted(graph.nodes)
+            self.n = len(self.node_ids)
+            self.n_upper = int(n_upper)
+            self.index, self.indptr, self.nbr_idx, self.nbr_ids = _build_csr(
+                graph, self.node_ids)
         self.ids = np.asarray(self.node_ids, dtype=_I64)
         total = int(self.indptr[-1])
         self.total = total
@@ -196,7 +212,10 @@ class ArrayKernel:
         self.go_dmax = np.zeros(self.n, dtype=_I64)
         self.go_color = np.zeros(self.n, dtype=bool)
         #: node *index* (not id) of the neighbour at each flat view row.
-        self.nbr_node_idx = np.searchsorted(self.ids, self.nbr_ids)
+        #: ``nbr_ids = ids[nbr_idx]`` with ``ids`` sorted and unique, so the
+        #: index of each neighbour id is just ``nbr_idx`` itself (both
+        #: arrays are frozen topology; sharing is safe).
+        self.nbr_node_idx = self.nbr_idx
         # -- flat position lookup -----------------------------------------------
         # (owner index, neighbour id) -> flat row, as a sorted key array so a
         # batch of parent pointers resolves with one searchsorted.  Keys are
@@ -209,15 +228,30 @@ class ArrayKernel:
         owner_idx = np.repeat(np.arange(self.n, dtype=_I64),
                               np.diff(self.indptr).astype(_I64))
         self.flat_keys = owner_idx * self._key_mod + (self.nbr_ids + self._key_off)
-        #: scalar-path lookup ``(owner id, neighbour id) -> flat row``.
-        self.pos: Dict[Tuple[NodeId, NodeId], int] = {}
-        for i, v in enumerate(self.node_ids):
-            for f in range(int(self.indptr[i]), int(self.indptr[i + 1])):
-                self.pos[(v, int(self.nbr_ids[f]))] = f
+        # Scalar-path position lookup, built lazily (see the ``pos``
+        # property): construction never needs it, and the CSR-direct build
+        # path must stay free of per-edge Python dict fills.
+        self._pos_cache: Optional[Dict[Tuple[NodeId, NodeId], int]] = None
         self._full_flat = np.arange(total, dtype=_I64)
         self._full_starts = self.indptr[:-1].astype(np.intp)
         self._all_idx = np.arange(self.n, dtype=_I64)
         self._row_counts = np.diff(self.indptr).astype(_I64)
+
+    @property
+    def pos(self) -> Dict[Tuple[NodeId, NodeId], int]:
+        """Scalar-path lookup ``(owner id, neighbour id) -> flat view row``.
+
+        Row order follows the CSR layout (owner-major, neighbour-id minor),
+        exactly the order the eager per-edge fill used to produce.  Built on
+        first use -- typically when the first channel materializes -- so
+        network *construction* stays O(arrays).
+        """
+        p = self._pos_cache
+        if p is None:
+            p = dict(zip(zip(self.row_owner.tolist(), self.nbr_ids.tolist()),
+                         range(self.total)))
+            self._pos_cache = p
+        return p
 
     # -- flat-row geometry -----------------------------------------------------
 
@@ -762,20 +796,23 @@ class ArrayMDSTNode(MDSTNode):
     of the array backend correct by construction.
     """
 
-    __slots__ = ()
+    __slots__ = ("_kernel",)
 
     def __init__(self, node_id: NodeId, neighbors: Sequence[NodeId],
                  kernel: ArrayKernel, n_upper: int | None = None,
                  search_period: int = 3, deblock_cooldown: int = 30,
                  enable_reduction: bool = True):
+        self._kernel = kernel
         super().__init__(node_id, neighbors, n_upper=n_upper,
                          search_period=search_period,
                          deblock_cooldown=deblock_cooldown,
                          enable_reduction=enable_reduction)
-        # Swap the freshly built MDSTState for the column-backed one; the
-        # kernel columns are pre-initialised to the same starting values
-        # (root = parent = own id, distance 0, blank unheard views).
-        self.s = ArrayBackedState(kernel, node_id)
+
+    def _make_state(self) -> "ArrayBackedState":
+        # Column-backed state from the start -- the base constructor's
+        # root/parent/distance writes land on kernel columns that are
+        # pre-initialised to those exact values (own id, own id, 0).
+        return ArrayBackedState(self._kernel, self.node_id)
 
     def locally_stabilized(self) -> bool:
         """Vectorized twin of :meth:`MDSTNode.locally_stabilized`.
@@ -1028,6 +1065,75 @@ def account_dropped_deliveries(network: Network,
             rec.deliveries += count
 
 
+class _LazyMap(dict):
+    """A fixed-key mapping whose values materialize on first access.
+
+    Backs the CSR-direct build path's ``processes`` / ``channels`` /
+    ``adjacency`` maps: the key set is frozen at construction (the array
+    topology is immutable), values are built by ``factory(key)`` on first
+    ``[]`` and cached in the underlying dict.  Iteration and membership
+    consult the frozen key list without materializing anything; ``values``
+    / ``items`` (and generic mapping copies, which go through ``keys`` +
+    ``__getitem__`` because ``__iter__`` is overridden) materialize
+    everything.  The structural mutators raise: the network rejects live
+    topology churn before any of them could be reached legitimately.
+    """
+
+    __slots__ = ("_keys", "_keyset", "_factory")
+
+    def __init__(self, keys, factory):
+        super().__init__()
+        self._keys = tuple(keys)
+        self._keyset = None  # built on first membership test
+        self._factory = factory
+
+    def _valid(self, key) -> bool:
+        ks = self._keyset
+        if ks is None:
+            ks = self._keyset = frozenset(self._keys)
+        return key in ks
+
+    def __missing__(self, key):
+        if not self._valid(key):
+            raise KeyError(key)
+        value = self._factory(key)
+        dict.__setitem__(self, key, value)
+        return value
+
+    def __contains__(self, key):
+        return self._valid(key)
+
+    def __len__(self):
+        return len(self._keys)
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def keys(self):
+        return self._keys
+
+    def values(self):
+        return [self[k] for k in self._keys]
+
+    def items(self):
+        return [(k, self[k]) for k in self._keys]
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def copy(self):
+        return {k: self[k] for k in self._keys}
+
+    def _frozen(self, *args, **kwargs):
+        raise SimulationError("the array backend's maps are frozen")
+
+    __setitem__ = __delitem__ = _frozen
+    pop = popitem = clear = update = setdefault = _frozen
+
+
 class ArrayNetwork(Network):
     """A :class:`~repro.sim.network.Network` whose nodes share array state.
 
@@ -1040,9 +1146,14 @@ class ArrayNetwork(Network):
     the flat layout is frozen at construction.
     """
 
-    def __init__(self, graph: nx.Graph, *, n_upper: int,
+    def __init__(self, graph: "nx.Graph | EdgeArrayGraph", *, n_upper: int,
                  search_period: int = 3, deblock_cooldown: int = 30,
                  enable_reduction: bool = True):
+        # Backing stores for the ``graph`` / ``_channel_order`` properties
+        # (the CSR-direct path materializes both lazily).
+        self._graph_store: Optional[nx.Graph] = None
+        self._channel_order_store: Optional[Dict] = None
+        self._edge_arrays: Optional[EdgeArrayGraph] = None
         self.kernel = ArrayKernel(graph, n_upper)
         self._enable_reduction = enable_reduction
         kernel = self.kernel
@@ -1075,11 +1186,156 @@ class ArrayNetwork(Network):
                                  deblock_cooldown=deblock_cooldown,
                                  enable_reduction=enable_reduction)
 
-        super().__init__(graph, factory)
+        if isinstance(graph, EdgeArrayGraph):
+            self._init_from_arrays(graph, factory)
+        else:
+            super().__init__(graph, factory)
         #: Lazily built per-node channel lists for the sync fast path.
         self._sync_structs_cache = None
         #: ``snapshot_key`` cache: ``(version, key)`` over the state columns.
         self._acols_key_cache = None
+
+    def _init_from_arrays(self, eg: EdgeArrayGraph,
+                          factory: "ProcessFactory") -> None:
+        """CSR-direct construction: :class:`Network.__init__` field for
+        field, with the per-object maps replaced by lazy ones.
+
+        No process, state view, channel or nx structure is built here --
+        only the frozen key lists.  Processes materialize when the
+        simulator starts them, channels when the first round's structures
+        are assembled, so *construction* cost is O(arrays) regardless of
+        ``n`` and ``m``.
+        """
+        eg.validate()  # connectivity (cheap union-find; no-op if validated)
+        self._edge_arrays = eg
+        k = self.kernel
+        self.n = k.n
+        self.m = eg.number_of_edges()
+        self.node_ids = list(k.node_ids)
+        indptr, nbr = k.indptr, k.nbr_ids
+
+        def adjacency_of(v: NodeId):
+            return tuple(nbr[int(indptr[v]):int(indptr[v + 1])].tolist())
+
+        self.adjacency = _LazyMap(self.node_ids, adjacency_of)
+        self._process_factory = factory
+        self.processes = _LazyMap(self.node_ids, self._make_process)
+        self._version = 0
+        self._topology_version = 0
+        self._graph_owned = False
+        self.dropped_messages = 0
+        self._retired_messages_sent = 0
+        self._retired_max_message_bits = 0
+        self._disabled = set()
+        self._channel_model = None
+        self._active = set()
+        self._pending_total = 0
+        # _channel_order materializes from the edge arrays on first access;
+        # the sequence counter continues past the 2m construction slots.
+        self._channel_order_store = None
+        self._channel_seq = 2 * self.m
+        self._dirty = set(self.node_ids)
+        self._node_snaps = {}
+        self._node_views = {}
+        self._node_keys = {}
+        self._snaps_stale = True
+        self._snaps_view = None
+        self._snaps_version = -1
+        self._key_cache = None
+        self._nonempty_outboxes = 0
+        # Directed channel keys in creation order -- (u, v) then (v, u) per
+        # canonical edge -- assembled with C-level zips, no per-edge loop.
+        us, vs = eg.edges_u.tolist(), eg.edges_v.tolist()
+        keys = itertools.chain.from_iterable(zip(zip(us, vs), zip(vs, us)))
+        self.channels = _LazyMap(keys, self._make_channel)
+
+    def _make_process(self, v: NodeId) -> ArrayMDSTNode:
+        """Materialize node ``v``'s process (the lazy-map factory)."""
+        proc = self._process_factory(v, self.adjacency[v])
+        if proc.node_id != v:
+            raise ProtocolError(
+                f"process factory returned node id {proc.node_id} for node {v}")
+        proc.outbox.watch(self._outbox_changed)
+        if len(proc.outbox):
+            self._nonempty_outboxes += 1
+        return proc
+
+    def _make_channel(self, key) -> "ArrayChannel":
+        """Materialize one directed channel (the lazy-map factory).
+
+        Mirrors :meth:`_install_channel` minus the order/registration
+        bookkeeping, which the lazy maps carry structurally.  Virtual-gossip
+        counters are global (indexed by source and flat row), so a channel
+        materializing mid-run observes exactly the token history an eagerly
+        built one would have.
+        """
+        src, dst = key
+        channel = ArrayChannel(src, dst, self.n, self,
+                               int(self.kernel.index[src]),
+                               self.kernel.pos[(dst, src)])
+        channel.watch(self._channel_changed)
+        if self._channel_model is not None:
+            channel.set_model(self._channel_model)
+        return channel
+
+    # -- lazy structures of the CSR-direct path --------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The nx view of the topology, materialized on first use.
+
+        The CSR-direct path defers building it (legitimacy predicates and
+        fault planners are the consumers, none of which run at
+        construction); identity is stable after the first access, which the
+        identity-keyed predicate memos rely on.
+        """
+        g = self._graph_store
+        if g is None and self._edge_arrays is not None:
+            g = self._edge_arrays.to_networkx()
+            self._graph_store = g
+        return g
+
+    @graph.setter
+    def graph(self, value: nx.Graph) -> None:
+        self._graph_store = value
+
+    @property
+    def _channel_order(self) -> Dict:
+        """Channel-creation order; on the CSR-direct path it is derived
+        from the canonical edge arrays (edge ``i`` yields slots ``2i`` and
+        ``2i + 1``), exactly the order the eager loop would have minted."""
+        d = self._channel_order_store
+        if d is None:
+            eg = self._edge_arrays
+            d = {}
+            seq = 0
+            for a, b in zip(eg.edges_u.tolist(), eg.edges_v.tolist()):
+                d[(a, b)] = seq
+                d[(b, a)] = seq + 1
+                seq += 2
+            self._channel_order_store = d
+        return d
+
+    @_channel_order.setter
+    def _channel_order(self, value: Dict) -> None:
+        self._channel_order_store = value
+
+    def initialize_isolated_columns(self) -> None:
+        """Vectorized twin of :func:`repro.core.protocol.initialize_isolated`.
+
+        One assignment per column instead of one Python loop per node; the
+        written values are the definition of the isolated configuration, so
+        both routes land on identical columns.
+        """
+        k = self.kernel
+        k.root[:] = k.ids
+        k.parent[:] = k.ids
+        k.distance[:] = 0
+        k.sub_max[:] = 0
+        k.dmax[:] = 0
+        k.color[:] = True
+        k.v_heard[:] = False
+        self.note_state_write()
 
     def _install_channel(self, key) -> Channel:
         """Create an :class:`ArrayChannel` (virtual-gossip aware)."""
@@ -1823,12 +2079,18 @@ class ArraySyncScheduler(SynchronousScheduler):
         network.run_sync_round(events, trace, stats)
 
 
-def build_array_mdst_network(graph: nx.Graph, *, n_upper: int,
+def build_array_mdst_network(graph: "nx.Graph | EdgeArrayGraph", *,
+                             n_upper: int,
                              search_period: int = 3,
                              deblock_cooldown: int = 30,
                              enable_reduction: bool = True) -> ArrayNetwork:
     """Build the array-backed MDST network (the adapter's ``backend="array"``
-    counterpart of :func:`repro.core.protocol.build_mdst_network`)."""
+    counterpart of :func:`repro.core.protocol.build_mdst_network`).
+
+    Accepts either an ``nx.Graph`` (eager per-object construction) or an
+    :class:`~repro.graphs.edge_array.EdgeArrayGraph` (the CSR-direct fast
+    path: kernel columns come straight from the container's cached CSR and
+    the per-object maps materialize lazily)."""
     return ArrayNetwork(graph, n_upper=n_upper, search_period=search_period,
                         deblock_cooldown=deblock_cooldown,
                         enable_reduction=enable_reduction)

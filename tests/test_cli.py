@@ -28,7 +28,7 @@ def test_parser_has_all_subcommands():
     parser = build_parser()
     actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
     assert set(actions[0].choices) == {"run", "sweep", "bench", "report",
-                                       "protocols"}
+                                       "protocols", "graphs"}
 
 
 def test_run_prints_result_table(capsys):
@@ -369,3 +369,62 @@ def test_sweep_rejects_adversary_flags_on_non_capable_task(capsys):
     assert main(["sweep", "--families", "wheel", "--sizes", "8",
                  "--task", "baselines", "--dup", "0.1"]) == 1
     assert "--task" in capsys.readouterr().err
+
+
+def test_graphs_subcommand_lists_families(capsys):
+    assert main(["graphs"]) == 0
+    out = capsys.readouterr().out
+    for name in ("powerlaw_cm", "small_world_fast", "kronecker", "wheel"):
+        assert name in out
+    assert "array-fast" in out
+
+
+def test_graphs_subcommand_json(capsys):
+    assert main(["graphs", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    by_name = {row["family"]: row for row in rows}
+    assert by_name["powerlaw_cm"]["array_fast"] is True
+    assert by_name["wheel"]["array_fast"] is False
+    assert "exponent" in by_name["powerlaw_cm"]["params"]
+
+
+def test_run_graph_param_flows_into_spec(capsys):
+    assert main(["run", "--family", "powerlaw_cm", "--n", "24", "--seed", "3",
+                 "--backend", "array", "--graph-param", "exponent=2.3",
+                 "--max-rounds", "4000", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["spec"]["graph_params"] == [["exponent", 2.3]]
+    assert data["row"]["graph_params"] == {"exponent": 2.3}
+    assert data["row"]["converged"] is True
+
+
+def test_run_rejects_unknown_graph_param(capsys):
+    assert main(["run", "--family", "powerlaw_cm", "--n", "24",
+                 "--graph-param", "bogus=1"]) == 1
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_run_rejects_malformed_graph_param(capsys):
+    assert main(["run", "--family", "powerlaw_cm", "--n", "24",
+                 "--graph-param", "exponent"]) == 1
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_run_graph_file_route(tmp_path, capsys):
+    path = tmp_path / "ring.txt"
+    path.write_text("# a comment\n0 1\n1 2\n2 3\n3 4\n4 0\n")
+    assert main(["run", "--graph-file", str(path), "--n", "5",
+                 "--max-rounds", "4000", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["row"]["graph_file"] == str(path)
+    assert data["row"]["family"] == "file"
+    assert data["row"]["n"] == 5
+    assert data["row"]["converged"] is True
+
+
+def test_run_rejects_graph_param_with_graph_file(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n")
+    assert main(["run", "--graph-file", str(path),
+                 "--graph-param", "p=0.1"]) == 1
+    assert "--graph-file" in capsys.readouterr().err

@@ -173,8 +173,19 @@ class TestIO:
         assert _canon(g.edges) == _canon(wheel8.edges)
         assert g.graph["family"] == "wheel"
 
+    def test_read_edge_list_ignores_extra_columns(self, tmp_path):
+        # Weighted/SNAP-style exports carry trailing columns; the first
+        # two are the endpoints and the rest is ignored.
+        path = tmp_path / "weighted.edges"
+        path.write_text("1 2 3\n2 0 0.5\n", encoding="utf-8")
+        g = read_edge_list(path)
+        assert _canon(g.edges) == {(1, 2), (0, 2)}
+
     def test_read_edge_list_rejects_malformed(self, tmp_path):
         path = tmp_path / "bad.edges"
-        path.write_text("1 2 3\n", encoding="utf-8")
+        path.write_text("1\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+        path.write_text("one two\n", encoding="utf-8")
         with pytest.raises(GraphError):
             read_edge_list(path)
